@@ -1,0 +1,23 @@
+// Command ablation runs the design-choice ablation benchmarks: grant-
+// triggered NIC issuing, nonblocking pipeline depth, flow-control credits,
+// and per-MPI-call CPU overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 32, "job size for the transaction-based ablations")
+	epochs := flag.Int("epochs", 64, "transactions per rank")
+	iters := flag.Int("iters", 5, "iterations for the latency ablation")
+	flag.Parse()
+
+	fmt.Println(bench.AblationTriggeredOps(*iters))
+	fmt.Println(bench.AblationPipelineDepth(*n, []int{1, 2, 4, 8, 16, 32, 64}, *epochs))
+	fmt.Println(bench.AblationCredits(*n, []int{1, 2, 4, 8, 16, 64}, *epochs))
+	fmt.Println(bench.AblationCallOverhead(*n, []int64{0, 200, 400, 800, 1600}, *epochs))
+}

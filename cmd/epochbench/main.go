@@ -1,0 +1,59 @@
+// Command epochbench regenerates the paper's microbenchmark figures
+// (Figs 2-11 and the Section VIII-A latency/overlap observations) and
+// prints paper-style tables.
+//
+// Usage:
+//
+//	epochbench                 # all microbenchmark figures
+//	epochbench -fig 6          # one figure
+//	epochbench -iters 100      # paper-style 100-iteration averaging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to run (2-11); 0 = all, plus the VIII-A tables")
+	iters := flag.Int("iters", 10, "iterations to average per measurement")
+	flag.Parse()
+
+	type exp struct {
+		id  int
+		run func() fmt.Stringer
+	}
+	experiments := []exp{
+		{2, func() fmt.Stringer { return bench.Fig2LatePost(*iters) }},
+		{3, func() fmt.Stringer { return bench.Fig3LateComplete(*iters, bench.SweepSizes) }},
+		{4, func() fmt.Stringer { return bench.Fig4EarlyFence(*iters) }},
+		{5, func() fmt.Stringer { return bench.Fig5WaitAtFence(*iters, bench.SweepSizes) }},
+		{6, func() fmt.Stringer { return bench.Fig6LateUnlock(*iters) }},
+		{7, func() fmt.Stringer { return bench.Fig7AAARGats(*iters) }},
+		{8, func() fmt.Stringer { return bench.Fig8AAARLock(*iters) }},
+		{9, func() fmt.Stringer { return bench.Fig9AAER(*iters) }},
+		{10, func() fmt.Stringer { return bench.Fig10EAER(*iters) }},
+		{11, func() fmt.Stringer { return bench.Fig11EAAR(*iters) }},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *fig != 0 && *fig != e.id {
+			continue
+		}
+		fmt.Println(e.run())
+		ran = true
+	}
+	if *fig == 0 {
+		fmt.Println(bench.LatencyParity(*iters, 1<<20))
+		fmt.Println(bench.OverlapTable(*iters))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "epochbench: unknown figure %d (valid: 2-11)\n", *fig)
+		os.Exit(2)
+	}
+}

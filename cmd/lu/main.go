@@ -1,0 +1,42 @@
+// Command lu regenerates the paper's Fig 13: LU-decomposition overall time
+// and communication percentage across job sizes for both matrix scales.
+//
+// Scale substitution (see DESIGN.md): the paper's 8192^2 and 16384^2
+// matrices are represented by 2048^2 and 4096^2 skeleton runs, which place
+// the execution-time optima at 128 and 256 processes respectively — the
+// same optima the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	sizesFlag := flag.String("sizes", "64,128,256,512,1024,2048", "comma-separated job sizes")
+	matricesFlag := flag.String("m", "2048,4096", "comma-separated matrix dimensions")
+	flop := flag.Float64("flopns", 20, "modeled nanoseconds per row-element update")
+	flag.Parse()
+
+	parse := func(s string) []int {
+		var out []int
+		for _, f := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				panic(fmt.Sprintf("lu: bad value %q", f))
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	sizes := parse(*sizesFlag)
+	for _, m := range parse(*matricesFlag) {
+		tt, ct := bench.Fig13LU(sizes, bench.LUParams{M: m, FlopNs: *flop})
+		fmt.Println(tt)
+		fmt.Println(ct)
+	}
+}

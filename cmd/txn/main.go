@@ -1,0 +1,38 @@
+// Command txn regenerates the paper's Fig 12: throughput of dynamic
+// unstructured massive atomic transactions across job sizes, for all four
+// test series (MVAPICH, New, New nonblocking, New nonblocking + A_A_A_R).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	sizesFlag := flag.String("sizes", "64,128,256,512", "comma-separated job sizes")
+	epochs := flag.Int("epochs", 96, "transactions per rank")
+	depth := flag.Int("depth", 24, "nonblocking pipeline depth")
+	credits := flag.Bool("credit-ceiling", true, "apply the 512-core flow-control ceiling (paper's InfiniBand issue)")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			fmt.Printf("txn: bad job size %q\n", s)
+			return
+		}
+		sizes = append(sizes, n)
+	}
+	p := bench.TxnParams{
+		EpochsPerRank:     *epochs,
+		PipelineDepth:     *depth,
+		CreditConstrained: *credits,
+		Seed:              0x5eed,
+	}
+	fmt.Println(bench.Fig12Transactions(sizes, p))
+}

@@ -1,0 +1,117 @@
+// Detector: records an RMA trace and quantifies the paper's inefficiency
+// patterns with the built-in analyzer (in the spirit of the MPI-2 RMA
+// pattern analyses the paper builds on). The same mixed workload —
+// featuring a late post, a late closing call, a late fence and a greedy
+// lock holder — is run with blocking and with nonblocking epochs, showing
+// the patterns appear in the former and (mostly) vanish in the latter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func workload(nonblocking bool) repro.TraceReport {
+	c := repro.NewCluster(3, repro.DefaultConfig())
+	rec := c.EnableTracing()
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, 1<<20, repro.WinOptions{Mode: repro.ModeNew, ShapeOnly: true})
+		delay := 800 * repro.Microsecond
+
+		// Scene 1 - Late Post: rank 1 exposes late to rank 0.
+		switch r.ID {
+		case 0:
+			win.Start([]int{1})
+			win.Put(1, 0, nil, 1<<20)
+			if nonblocking {
+				req := win.IComplete()
+				r.Compute(delay)
+				r.Wait(req)
+			} else {
+				win.Complete()
+				r.Compute(delay)
+			}
+		case 1:
+			r.Compute(delay) // late post
+			win.Post([]int{0})
+			win.WaitEpoch()
+		}
+		r.Barrier()
+
+		// Scene 2 - Late Complete: rank 0 closes late (blocking) or early
+		// (nonblocking) while rank 2 waits.
+		switch r.ID {
+		case 0:
+			win.Start([]int{2})
+			win.Put(2, 0, nil, 4096)
+			if nonblocking {
+				req := win.IComplete()
+				r.Compute(delay)
+				r.Wait(req)
+			} else {
+				r.Compute(delay)
+				win.Complete()
+			}
+		case 2:
+			win.Post([]int{0})
+			win.WaitEpoch()
+		}
+		r.Barrier()
+
+		// Scene 3 - Wait at Fence: rank 2 fences late.
+		if nonblocking {
+			win.IFence(repro.AssertNone)
+			if r.ID == 2 {
+				win.Put(0, 0, nil, 64)
+			}
+			req := win.IFence(repro.AssertNoSucceed)
+			if r.ID == 2 {
+				r.Compute(delay)
+			}
+			r.Wait(req)
+		} else {
+			win.Fence(repro.AssertNone)
+			if r.ID == 2 {
+				win.Put(0, 0, nil, 64)
+				r.Compute(delay)
+			}
+			win.Fence(repro.AssertNoSucceed)
+		}
+
+		// Scene 4 - Late Unlock: rank 1 hogs rank 0's lock.
+		switch r.ID {
+		case 1:
+			win.Lock(0, true)
+			win.Put(0, 0, nil, 64)
+			if nonblocking {
+				req := win.IUnlock(0)
+				r.Compute(delay)
+				r.Wait(req)
+			} else {
+				r.Compute(delay)
+				win.Unlock(0)
+			}
+		case 2:
+			r.Compute(50 * repro.Microsecond)
+			win.Lock(0, true)
+			win.Put(0, 0, nil, 64)
+			win.Unlock(0)
+		}
+		r.Barrier()
+		win.Quiesce()
+	})
+	if err != nil {
+		log.Fatalf("detector workload: %v", err)
+	}
+	return repro.AnalyzeTrace(rec)
+}
+
+func main() {
+	fmt.Println("=== blocking synchronizations ===")
+	fmt.Print(workload(false))
+	fmt.Println()
+	fmt.Println("=== nonblocking synchronizations ===")
+	fmt.Print(workload(true))
+}

@@ -1,0 +1,67 @@
+// Pipeline: back-to-back exclusive-lock epochs against distinct targets.
+// Without A_A_A_R the progress engine activates them one after another
+// (each waits for the previous epoch's completion); with A_A_A_R they
+// progress concurrently and the pipeline's makespan collapses toward the
+// longest single epoch. Demonstrates the contention-avoidance use case of
+// Section IV-B with per-target verification.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	targets = 6
+	updates = 4 // epochs per target
+)
+
+func run(aaar bool) repro.Time {
+	c := repro.NewCluster(targets+1, repro.DefaultConfig())
+	var elapsed repro.Time
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, 8, repro.WinOptions{
+			Mode: repro.ModeNew,
+			Info: repro.Info{AAAR: aaar},
+		})
+		if r.ID == 0 {
+			one := make([]byte, 8)
+			binary.LittleEndian.PutUint64(one, 1)
+			t0 := r.Now()
+			var reqs []*repro.Request
+			for u := 0; u < updates; u++ {
+				for t := 1; t <= targets; t++ {
+					win.ILock(t, true)
+					win.Accumulate(t, 0, repro.OpSum, repro.TUint64, one, 8)
+					reqs = append(reqs, win.IUnlock(t))
+				}
+			}
+			r.Wait(reqs...)
+			elapsed = r.Now() - t0
+		}
+		r.Barrier()
+		if r.ID != 0 {
+			got := binary.LittleEndian.Uint64(win.Bytes())
+			if got != updates {
+				log.Fatalf("rank %d: got %d updates, want %d", r.ID, got, updates)
+			}
+		}
+		win.Quiesce()
+	})
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	return elapsed
+}
+
+func main() {
+	off := run(false)
+	on := run(true)
+	fmt.Printf("%d exclusive-lock epochs across %d targets (all updates verified):\n", targets*updates, targets)
+	fmt.Printf("  serialized (A_A_A_R off): %5d us\n", off/repro.Microsecond)
+	fmt.Printf("  pipelined  (A_A_A_R on):  %5d us  (%.1fx faster)\n",
+		on/repro.Microsecond, float64(off)/float64(on))
+}

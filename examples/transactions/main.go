@@ -1,0 +1,96 @@
+// Transactions: the paper's Section IV-B communication pattern — dynamic,
+// unstructured, massive atomic updates. A set of peers updates randomly
+// chosen counters on randomly chosen peers; every update is isolated in
+// its own exclusive-lock epoch for atomicity. With nonblocking
+// synchronizations and A_A_A_R, many epochs are pending simultaneously and
+// complete out of order, raising transaction throughput.
+//
+// This example runs the pattern with real data (each rank's window holds
+// 64 uint64 counters) and verifies that every update landed exactly once.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	ranks         = 8
+	epochsPerRank = 64
+	counters      = 64
+)
+
+func run(nonblocking, aaar bool) (throughputKTps float64) {
+	c := repro.NewCluster(ranks, repro.DefaultConfig())
+	var elapsed repro.Time
+	grand := uint64(0)
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, counters*8, repro.WinOptions{
+			Mode: repro.ModeNew,
+			Info: repro.Info{AAAR: aaar},
+		})
+		// Deterministic per-rank choice sequence.
+		seed := uint64(r.ID)*2654435761 + 12345
+		next := func(n int) int {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return int(seed>>33) % n
+		}
+		one := make([]byte, 8)
+		binary.LittleEndian.PutUint64(one, 1)
+
+		r.Barrier()
+		t0 := r.Now()
+		if nonblocking {
+			var pending []*repro.Request
+			for i := 0; i < epochsPerRank; i++ {
+				t := next(ranks)
+				off := int64(next(counters)) * 8
+				win.ILock(t, true)
+				win.Accumulate(t, off, repro.OpSum, repro.TUint64, one, 8)
+				pending = append(pending, win.IUnlock(t))
+			}
+			r.Wait(pending...)
+		} else {
+			for i := 0; i < epochsPerRank; i++ {
+				t := next(ranks)
+				off := int64(next(counters)) * 8
+				win.Lock(t, true)
+				win.Accumulate(t, off, repro.OpSum, repro.TUint64, one, 8)
+				win.Unlock(t)
+			}
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			elapsed = r.Now() - t0
+		}
+		win.Quiesce()
+		r.Barrier()
+		// Count the updates that landed in the local window.
+		var local uint64
+		for i := 0; i < counters; i++ {
+			local += binary.LittleEndian.Uint64(win.Bytes()[i*8:])
+		}
+		total := r.AllreduceInt64(repro.ReduceSum, int64(local))
+		if r.ID == 0 {
+			grand = uint64(total)
+		}
+	})
+	if err != nil {
+		log.Fatalf("transactions: %v", err)
+	}
+	if grand != ranks*epochsPerRank {
+		log.Fatalf("lost updates: got %d, want %d", grand, ranks*epochsPerRank)
+	}
+	tx := float64(ranks * epochsPerRank)
+	return tx / (float64(elapsed) / float64(repro.Second)) / 1000
+}
+
+func main() {
+	fmt.Printf("%d ranks x %d exclusive-lock atomic updates (all verified)\n", ranks, epochsPerRank)
+	fmt.Printf("  blocking epochs:              %8.1f k transactions/s\n", run(false, false))
+	fmt.Printf("  nonblocking epochs:           %8.1f k transactions/s\n", run(true, false))
+	fmt.Printf("  nonblocking + A_A_A_R:        %8.1f k transactions/s\n", run(true, true))
+}

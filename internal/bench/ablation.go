@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - grant-triggered NIC-context issuing of recorded transfers (vs
+//     CPU-engine-only issue): what buys the in-epoch overlap;
+//   - the nonblocking pipeline depth: what buys Fig 12's contention
+//     avoidance, and what the 512-core flow-control ceiling takes away;
+//   - flow-control credits per peer: the substrate knob behind that
+//     ceiling;
+//   - per-call CPU overhead: what separates "New" from "New nonblocking"
+//     in back-to-back epoch streams.
+
+// AblationTriggeredOps measures the Fig 3 (Late Complete) target-side
+// epoch with grant-triggered issuing on and off. Without triggered ops a
+// computing origin cannot push its recorded put when the grant lands, so
+// the target inherits the origin's work time even with nonblocking closes.
+func AblationTriggeredOps(iters int) *stats.Table {
+	t := stats.NewTable("Ablation: grant-triggered NIC issue (Fig 3 setting, nonblocking close)",
+		"us", "variant", []string{"triggered ops", "engine-only issue"}, []string{"target epoch"})
+	for _, noTrig := range []bool{false, true} {
+		var dS []sim.Time
+		runWorld(2, Config(), func(r *mpi.Rank, rt *core.Runtime) {
+			win := rt.CreateWindow(r, BigMsg, core.WinOptions{
+				Mode: core.ModeNew, ShapeOnly: true, NoTriggeredOps: noTrig,
+			})
+			for it := 0; it < iters; it++ {
+				r.Barrier()
+				t0 := r.Now()
+				if r.ID == 0 {
+					win.IStart([]int{1})
+					win.Put(1, 0, nil, 1<<20)
+					req := win.IComplete()
+					r.Compute(Delay)
+					r.Wait(req)
+				} else {
+					win.Post([]int{0})
+					win.WaitEpoch()
+					dS = append(dS, r.Now()-t0)
+				}
+			}
+			win.Quiesce()
+		})
+		row := "triggered ops"
+		if noTrig {
+			row = "engine-only issue"
+		}
+		t.Set(row, "target epoch", mean(dS))
+	}
+	return t
+}
+
+// AblationPipelineDepth sweeps the nonblocking pipeline depth of the
+// Fig 12 transaction workload at a fixed job size.
+func AblationPipelineDepth(n int, depths []int, epochsPerRank int) *stats.Table {
+	rows := make([]string, len(depths))
+	for i, d := range depths {
+		rows[i] = fmt.Sprintf("%d", d)
+	}
+	t := stats.NewTable(fmt.Sprintf("Ablation: pipeline depth (transactions, %d ranks, A_A_A_R)", n),
+		"thousands of transactions/s", "depth", rows, []string{"throughput"})
+	for _, d := range depths {
+		p := TxnParams{EpochsPerRank: epochsPerRank, PipelineDepth: d, Seed: 0x5eed}
+		t.Set(fmt.Sprintf("%d", d), "throughput", RunTxn(n, TxnNewNBAAAR, p))
+	}
+	return t
+}
+
+// AblationCredits sweeps per-peer flow-control credits for the same
+// workload: starving credits reproduces the paper's 512-core ceiling at
+// any scale.
+func AblationCredits(n int, credits []int, epochsPerRank int) *stats.Table {
+	rows := make([]string, len(credits))
+	for i, c := range credits {
+		rows[i] = fmt.Sprintf("%d", c)
+	}
+	t := stats.NewTable(fmt.Sprintf("Ablation: flow-control credits per peer (transactions, %d ranks, A_A_A_R)", n),
+		"thousands of transactions/s", "credits", rows, []string{"throughput"})
+	for _, c := range credits {
+		cfg := Config()
+		cfg.CreditsPerPeer = c
+		t.Set(fmt.Sprintf("%d", c), "throughput",
+			runTxnWithConfig(n, cfg, 24, epochsPerRank))
+	}
+	return t
+}
+
+// AblationCallOverhead sweeps the modeled per-MPI-call CPU cost and
+// reports blocking vs nonblocking transaction throughput: the gap between
+// "New" and "New nonblocking" for back-to-back epochs is exactly the
+// serialized call overhead.
+func AblationCallOverhead(n int, overheadsNs []int64, epochsPerRank int) *stats.Table {
+	rows := make([]string, len(overheadsNs))
+	for i, o := range overheadsNs {
+		rows[i] = fmt.Sprintf("%dns", o)
+	}
+	t := stats.NewTable(fmt.Sprintf("Ablation: per-call CPU overhead (transactions, %d ranks)", n),
+		"thousands of transactions/s", "overhead", rows, []string{"New", "New nonblocking"})
+	for _, o := range overheadsNs {
+		cfg := Config()
+		cfg.CallOverhead = o
+		row := fmt.Sprintf("%dns", o)
+		t.Set(row, "New", runTxnSeriesWithConfig(n, cfg, TxnNew, 24, epochsPerRank))
+		t.Set(row, "New nonblocking", runTxnSeriesWithConfig(n, cfg, TxnNewNB, 24, epochsPerRank))
+	}
+	return t
+}
+
+// runTxnWithConfig runs the A_A_A_R transaction workload under a custom
+// fabric configuration.
+func runTxnWithConfig(n int, cfg fabric.Config, depth, epochs int) float64 {
+	return runTxnSeriesWithConfig(n, cfg, TxnNewNBAAAR, depth, epochs)
+}
+
+// runTxnSeriesWithConfig is RunTxn with an explicit fabric config.
+func runTxnSeriesWithConfig(n int, cfg fabric.Config, series TxnSeries, depth, epochs int) float64 {
+	mode := core.ModeVanilla
+	var info core.Info
+	nonblocking := false
+	switch series {
+	case TxnNew:
+		mode = core.ModeNew
+	case TxnNewNB:
+		mode = core.ModeNew
+		nonblocking = true
+	case TxnNewNBAAAR:
+		mode = core.ModeNew
+		info = core.Info{AAAR: true}
+		nonblocking = true
+	}
+	var elapsed sim.Time
+	runWorld(n, cfg, func(r *mpi.Rank, rt *core.Runtime) {
+		win := rt.CreateWindow(r, 4096, core.WinOptions{Mode: mode, Info: info, ShapeOnly: true})
+		rng := sim.NewRNG(0x5eed ^ uint64(r.ID)*0x9e3779b97f4a7c15)
+		r.Barrier()
+		t0 := r.Now()
+		if nonblocking {
+			var pending []*mpi.Request
+			for i := 0; i < epochs; i++ {
+				tgt := rng.Intn(n)
+				off := int64(rng.Intn(512)) * 8
+				win.ILock(tgt, true)
+				win.Accumulate(tgt, off, core.OpSum, core.TUint64, nil, 8)
+				pending = append(pending, win.IUnlock(tgt))
+				if len(pending) >= depth {
+					r.Wait(pending[0])
+					pending = pending[1:]
+				}
+			}
+			r.Wait(pending...)
+		} else {
+			for i := 0; i < epochs; i++ {
+				tgt := rng.Intn(n)
+				off := int64(rng.Intn(512)) * 8
+				win.Lock(tgt, true)
+				win.Accumulate(tgt, off, core.OpSum, core.TUint64, nil, 8)
+				win.Unlock(tgt)
+			}
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			elapsed = r.Now() - t0
+		}
+		win.Quiesce()
+	})
+	total := float64(n * epochs)
+	return total / (float64(elapsed) / float64(sim.Second)) / 1000
+}

@@ -1,0 +1,95 @@
+package bench
+
+import "testing"
+
+func TestAblationTriggeredOpsShape(t *testing.T) {
+	tb := AblationTriggeredOps(2)
+	t.Log("\n" + tb.String())
+	trig := tb.Get("triggered ops", "target epoch")
+	engOnly := tb.Get("engine-only issue", "target epoch")
+	if trig > 500 {
+		t.Fatalf("triggered-ops target epoch %v us, want ~transfer time", trig)
+	}
+	if engOnly < trig+300 {
+		t.Fatalf("engine-only issue should inherit the origin's compute: %v vs %v", engOnly, trig)
+	}
+}
+
+func TestAblationPipelineDepthShape(t *testing.T) {
+	tb := AblationPipelineDepth(8, []int{1, 16}, 32)
+	t.Log("\n" + tb.String())
+	d1 := tb.Get("1", "throughput")
+	d16 := tb.Get("16", "throughput")
+	if d16 <= d1 {
+		t.Fatalf("deeper pipelines should raise throughput: depth1=%v depth16=%v", d1, d16)
+	}
+}
+
+func TestAblationCreditsShape(t *testing.T) {
+	tb := AblationCredits(8, []int{1, 64}, 32)
+	t.Log("\n" + tb.String())
+	c1 := tb.Get("1", "throughput")
+	c64 := tb.Get("64", "throughput")
+	if c64 < c1 {
+		t.Fatalf("credit starvation should not beat ample credits: c1=%v c64=%v", c1, c64)
+	}
+}
+
+func TestAblationCallOverheadRuns(t *testing.T) {
+	tb := AblationCallOverhead(4, []int64{0, 800}, 16)
+	t.Log("\n" + tb.String())
+	for _, row := range []string{"0ns", "800ns"} {
+		if tb.Get(row, "New") <= 0 || tb.Get(row, "New nonblocking") <= 0 {
+			t.Fatalf("missing ablation cell for %s", row)
+		}
+	}
+}
+
+func TestRunLUSingle(t *testing.T) {
+	res := RunLU(4, SeriesNewNB, LUParams{M: 128, FlopNs: 20})
+	if res.Total <= 0 || res.CommPct <= 0 || res.CommPct >= 100 {
+		t.Fatalf("implausible LU result: %+v", res)
+	}
+}
+
+func TestOwnedRowsBelow(t *testing.T) {
+	// 8 rows on 2 ranks, cyclic: rank 0 owns 0,2,4,6; rank 1 owns 1,3,5,7.
+	cases := []struct {
+		rank, k, want int
+	}{
+		{0, 0, 3}, // rows 2,4,6
+		{1, 0, 4}, // rows 1,3,5,7
+		{0, 5, 1}, // row 6
+		{1, 6, 1}, // row 7
+		{0, 7, 0},
+		{1, 7, 0},
+	}
+	for _, c := range cases {
+		if got := ownedRowsBelow(c.rank, 2, 8, c.k); got != c.want {
+			t.Fatalf("ownedRowsBelow(rank=%d, k=%d) = %d, want %d", c.rank, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int64]string{4: "4B", 1 << 10: "1KB", 256 << 10: "256KB", 1 << 20: "1MB"}
+	for s, want := range cases {
+		if got := sizeLabel(s); got != want {
+			t.Fatalf("sizeLabel(%d)=%q want %q", s, got, want)
+		}
+	}
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	if SeriesMVAPICH.Mode() != 1 || SeriesNew.Mode() != 0 {
+		t.Fatal("series->mode mapping wrong")
+	}
+	if SeriesNewNB.String() != "New nonblocking" || !SeriesNewNB.Nonblocking() {
+		t.Fatal("nonblocking series misconfigured")
+	}
+	for _, s := range AllTxnSeries {
+		if s.String() == "unknown" {
+			t.Fatal("unnamed txn series")
+		}
+	}
+}

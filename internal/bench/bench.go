@@ -1,0 +1,122 @@
+// Package bench regenerates every figure of the paper's evaluation
+// (Section VIII) on the simulated cluster: the five inefficiency-pattern
+// microbenchmarks (Figs 2-6), the four progress-engine optimization-flag
+// microbenchmarks (Figs 7-11), the massive unstructured atomic-transaction
+// pattern (Fig 12) and the LU-decomposition application study (Fig 13),
+// plus the generic latency/overlap observations of Section VIII-A.
+//
+// Measurements are virtual-time latencies, deterministic across runs. The
+// calibration (fabric.DefaultConfig) makes a 1 MB put cost about 340 us and
+// every injected delay 1000 us, matching the paper's test conditions.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Series identifies one of the paper's test series.
+type Series int
+
+// The three test series of Section VIII (Fig 12 adds NewNB+A_A_A_R).
+const (
+	SeriesMVAPICH Series = iota // vanilla MVAPICH-style RMA, blocking
+	SeriesNew                   // new design, blocking synchronizations
+	SeriesNewNB                 // new design, nonblocking synchronizations
+)
+
+// AllSeries lists the three standard series in presentation order.
+var AllSeries = []Series{SeriesMVAPICH, SeriesNew, SeriesNewNB}
+
+// String implements fmt.Stringer with the paper's series names.
+func (s Series) String() string {
+	switch s {
+	case SeriesMVAPICH:
+		return "MVAPICH"
+	case SeriesNew:
+		return "New"
+	case SeriesNewNB:
+		return "New nonblocking"
+	}
+	return "unknown"
+}
+
+// Mode maps a series to its window implementation mode.
+func (s Series) Mode() core.Mode {
+	if s == SeriesMVAPICH {
+		return core.ModeVanilla
+	}
+	return core.ModeNew
+}
+
+// Nonblocking reports whether the series uses the I-synchronizations.
+func (s Series) Nonblocking() bool { return s == SeriesNewNB }
+
+// Default experiment parameters (paper values).
+const (
+	// Delay is the injected lateness/work in every microbenchmark.
+	Delay = 1000 * sim.Microsecond
+	// BigMsg is the 1 MB payload of the delay-propagation tests.
+	BigMsg = 1 << 20
+	// DefaultIters matches the paper's 100-iteration averaging; the
+	// simulator is deterministic, so tests may use fewer.
+	DefaultIters = 100
+)
+
+// us converts virtual nanoseconds to microseconds.
+func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// Config returns the interconnect calibration used by all experiments.
+func Config() fabric.Config { return fabric.DefaultConfig() }
+
+// runWorld executes body on a fresh n-rank world and panics on simulation
+// errors (benchmark harness convention: a deadlock is a bug).
+func runWorld(n int, cfg fabric.Config, body func(r *mpi.Rank, rt *core.Runtime)) {
+	w := mpi.NewWorld(n, cfg)
+	rt := core.NewRuntime(w)
+	if err := w.Run(func(r *mpi.Rank) { body(r, rt) }); err != nil {
+		panic(fmt.Sprintf("bench: simulation failed: %v", err))
+	}
+}
+
+// mean averages a sample of virtual durations into microseconds.
+func mean(xs []sim.Time) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, x := range xs {
+		sum += x
+	}
+	return us(sum) / float64(len(xs))
+}
+
+// others returns all ranks except me (a GATS group helper).
+func others(n, me int) []int {
+	g := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != me {
+			g = append(g, i)
+		}
+	}
+	return g
+}
+
+// sizeLabel formats a message size the way the paper's x-axes do.
+func sizeLabel(s int64) string {
+	switch {
+	case s >= 1<<20:
+		return fmt.Sprintf("%dMB", s>>20)
+	case s >= 1<<10:
+		return fmt.Sprintf("%dKB", s>>10)
+	default:
+		return fmt.Sprintf("%dB", s)
+	}
+}
+
+// SweepSizes is the 4 B - 1 MB x-axis used by Figs 3 and 5.
+var SweepSizes = []int64{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// The harness's headline reproducibility claim: identical runs produce
+// bit-for-bit identical virtual-time results.
+func TestBenchDeterminism(t *testing.T) {
+	a := Fig2LatePost(1)
+	b := Fig2LatePost(1)
+	for _, row := range a.Rows {
+		for _, col := range a.Cols {
+			if a.Get(row, col) != b.Get(row, col) {
+				t.Fatalf("Fig 2 not deterministic at (%s,%s): %v vs %v",
+					row, col, a.Get(row, col), b.Get(row, col))
+			}
+		}
+	}
+	p := TxnParams{EpochsPerRank: 16, PipelineDepth: 8, Seed: 42}
+	x := RunTxn(8, TxnNewNBAAAR, p)
+	y := RunTxn(8, TxnNewNBAAAR, p)
+	if x != y {
+		t.Fatalf("transaction run not deterministic: %v vs %v", x, y)
+	}
+	r1 := RunLU(4, SeriesNewNB, LUParams{M: 64, FlopNs: 20})
+	r2 := RunLU(4, SeriesNewNB, LUParams{M: 64, FlopNs: 20})
+	if r1.Total != r2.Total || r1.CommPct != r2.CommPct {
+		t.Fatalf("LU run not deterministic: %+v vs %+v", r1, r2)
+	}
+}

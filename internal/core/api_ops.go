@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Put transfers size bytes from data into target's window at offset off.
+// data may be nil on shape-only windows (pure traffic modeling). The local
+// buffer is reusable once the surrounding epoch closes (or after a flush).
+func (w *Window) Put(target int, off int64, data []byte, size int64) {
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opPut,
+		target: target, off: off, data: data, size: size, dtype: TByte})
+}
+
+// RPut is the request-based Put; the returned request completes when the
+// transfer is fulfilled at the target.
+func (w *Window) RPut(target int, off int64, data []byte, size int64) *mpi.Request {
+	req := mpi.NewRequest(w.rank)
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opPut,
+		target: target, off: off, data: data, size: size, dtype: TByte, req: req})
+	return req
+}
+
+// Get transfers size bytes from target's window at offset off into buf. buf
+// is filled by the time the epoch completes (or the op's request, for RGet).
+func (w *Window) Get(target int, off int64, buf []byte, size int64) {
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opGet,
+		target: target, off: off, buf: buf, size: size, dtype: TByte})
+}
+
+// RGet is the request-based Get.
+func (w *Window) RGet(target int, off int64, buf []byte, size int64) *mpi.Request {
+	req := mpi.NewRequest(w.rank)
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opGet,
+		target: target, off: off, buf: buf, size: size, dtype: TByte, req: req})
+	return req
+}
+
+// checkTyped validates a typed accumulate-class operand.
+func checkTyped(dt DType, size int64) {
+	if es := int64(dt.Size()); size%es != 0 {
+		panic(fmt.Sprintf("core: operand size %d not a multiple of element size %d", size, es))
+	}
+}
+
+// Accumulate atomically combines data into target memory element-wise with
+// op. Element atomicity holds per (window, target, element), as in MPI.
+func (w *Window) Accumulate(target int, off int64, op AccOp, dt DType, data []byte, size int64) {
+	checkTyped(dt, size)
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opAcc,
+		target: target, off: off, data: data, size: size, dtype: dt, op: op})
+}
+
+// RAccumulate is the request-based Accumulate.
+func (w *Window) RAccumulate(target int, off int64, op AccOp, dt DType, data []byte, size int64) *mpi.Request {
+	checkTyped(dt, size)
+	req := mpi.NewRequest(w.rank)
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opAcc,
+		target: target, off: off, data: data, size: size, dtype: dt, op: op, req: req})
+	return req
+}
+
+// GetAccumulate atomically fetches the previous target contents into result
+// while combining data into the target with op (OpNoOp makes it an atomic
+// get).
+func (w *Window) GetAccumulate(target int, off int64, op AccOp, dt DType, data, result []byte, size int64) {
+	checkTyped(dt, size)
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opGetAcc,
+		target: target, off: off, data: data, buf: result, size: size, dtype: dt, op: op})
+}
+
+// RGetAccumulate is the request-based GetAccumulate.
+func (w *Window) RGetAccumulate(target int, off int64, op AccOp, dt DType, data, result []byte, size int64) *mpi.Request {
+	checkTyped(dt, size)
+	req := mpi.NewRequest(w.rank)
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opGetAcc,
+		target: target, off: off, data: data, buf: result, size: size, dtype: dt, op: op, req: req})
+	return req
+}
+
+// FetchAndOp is the single-element fast path of GetAccumulate.
+func (w *Window) FetchAndOp(target int, off int64, op AccOp, dt DType, operand, result []byte) {
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opGetAcc,
+		target: target, off: off, data: operand, buf: result, size: int64(dt.Size()), dtype: dt, op: op})
+}
+
+// CompareAndSwap atomically replaces the target element with swap if it
+// equals compare, storing the previous value in result.
+func (w *Window) CompareAndSwap(target int, off int64, dt DType, compare, swap, result []byte) {
+	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opCAS,
+		target: target, off: off, cmp: compare, data: swap, buf: result, size: int64(dt.Size()), dtype: dt})
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// Control-plane messaging. Internode control packets are 8-byte NIC sends;
+// intranode ones travel through the pairwise wait-free 64-bit FIFOs and are
+// consumed by the peer's progress engine (Section VII-D, steps 5-6); self
+// control is applied inline.
+
+// ctlKind is the 4-bit control code packed into FIFO words.
+type ctlKind uint64
+
+const (
+	ctlGrant   ctlKind = iota + 1 // exposure opened / lock granted (value = cumulative count)
+	ctlDone                       // access-epoch done (value = access id)
+	ctlLockReq                    // lock request (value = 1 for shared)
+	ctlUnlock                     // lock release
+)
+
+// packWord encodes a control word: kind(4) | win(10) | src(18) | value(32).
+func packWord(kind ctlKind, win int64, src int, value int64) uint64 {
+	if win < 0 || win >= 1<<10 {
+		panic(fmt.Sprintf("core: window id %d exceeds FIFO word encoding", win))
+	}
+	if src < 0 || src >= 1<<18 {
+		panic(fmt.Sprintf("core: rank %d exceeds FIFO word encoding", src))
+	}
+	if value < 0 || value >= 1<<32 {
+		panic(fmt.Sprintf("core: control value %d exceeds FIFO word encoding", value))
+	}
+	return uint64(kind)<<60 | uint64(win)<<50 | uint64(src)<<32 | uint64(value)
+}
+
+// unpackWord decodes a control word.
+func unpackWord(word uint64) (kind ctlKind, win int64, src int, value int64) {
+	return ctlKind(word >> 60), int64(word >> 50 & 0x3ff), int(word >> 32 & 0x3ffff), int64(word & 0xffffffff)
+}
+
+// control routes one control message to dst via the appropriate medium.
+func (e *Engine) control(w *Window, dst int, kind ctlKind, value int64) {
+	me := e.rank.ID
+	if dst == me {
+		e.applyControl(kind, w, me, value)
+		return
+	}
+	net := e.rt.world.Net
+	if net.Cfg.SameNode(me, dst) {
+		word := packWord(kind, w.id, me, value)
+		if !net.Fifo(me, dst).Push(word) {
+			e.backlog = append(e.backlog, fifoWordTo{dst: dst, word: word})
+		}
+		// The peer's engine consumes the word at its next sweep; wake it in
+		// case it is parked inside an MPI call.
+		e.rt.world.Rank(dst).Wake.Fire()
+		return
+	}
+	var fk fabric.Kind
+	switch kind {
+	case ctlGrant:
+		fk = fabric.KindPostNotify
+	case ctlDone:
+		fk = fabric.KindDone
+	case ctlLockReq:
+		fk = fabric.KindLockReq
+	case ctlUnlock:
+		fk = fabric.KindUnlock
+	}
+	net.Send(&fabric.Packet{
+		Src: me, Dst: dst, Kind: fk, Size: 8,
+		Arg: [4]int64{w.id, value, 0, 0},
+	})
+}
+
+// applyControl dispatches a control message delivered to this rank. src is
+// the sending rank; w is the destination window on this rank.
+func (e *Engine) applyControl(kind ctlKind, w *Window, src int, value int64) {
+	switch kind {
+	case ctlGrant:
+		w.emitArrival(traceGrant, src, 0)
+		w.peers[src].recordGrant(value)
+		w.onGrant(src)
+	case ctlDone:
+		w.emitArrival(traceDone, src, 0)
+		w.peers[src].recordDone(value)
+		w.onDoneRecv(src)
+	case ctlLockReq:
+		// Batched with the other lock work in step 6.
+		e.lockBacklog = append(e.lockBacklog, lockWork{w: w, src: src, shared: value == 1, release: false})
+	case ctlUnlock:
+		e.lockBacklog = append(e.lockBacklog, lockWork{w: w, src: src, release: true})
+	default:
+		panic(fmt.Sprintf("core: bad control kind %d", kind))
+	}
+}
+
+// sendGrant notifies origin o that exposure/lock number count toward it is
+// open (the one-sided g_r update of Section VII-B).
+func (e *Engine) sendGrant(w *Window, o int, count int64) { e.control(w, o, ctlGrant, count) }
+
+// sendDone sends the done packet closing access id toward target t.
+func (e *Engine) sendDone(w *Window, t int, accessID int64) { e.control(w, t, ctlDone, accessID) }
+
+// sendLockReq asks target t for its window lock.
+func (e *Engine) sendLockReq(w *Window, t int, shared bool) {
+	v := int64(0)
+	if shared {
+		v = 1
+	}
+	if t == e.rank.ID {
+		// Self lock requests go straight to the local agent.
+		w.agent.request(t, shared)
+		return
+	}
+	e.control(w, t, ctlLockReq, v)
+}
+
+// sendUnlock releases target t's window lock ("a different kind of done
+// packet", Section VII-B). The NIC's per-peer ordering guarantees it
+// reaches the target after the epoch's RMA data.
+func (e *Engine) sendUnlock(w *Window, t int) {
+	if t == e.rank.ID {
+		w.agent.unlock(t)
+		return
+	}
+	e.control(w, t, ctlUnlock, 0)
+}
+
+// flushBacklog retries FIFO words that found their ring full (step 4).
+func (e *Engine) flushBacklog() {
+	if len(e.backlog) == 0 {
+		return
+	}
+	net := e.rt.world.Net
+	kept := e.backlog[:0]
+	for _, item := range e.backlog {
+		if !net.Fifo(e.rank.ID, item.dst).Push(item.word) {
+			kept = append(kept, item)
+		} else {
+			e.rt.world.Rank(item.dst).Wake.Fire()
+		}
+	}
+	e.backlog = kept
+}
+
+// consumeFifos drains every same-node peer's notification ring (step 5).
+func (e *Engine) consumeFifos() {
+	if len(e.nodePeers) == 0 {
+		return
+	}
+	net := e.rt.world.Net
+	for _, p := range e.nodePeers {
+		f := net.Fifo(p, e.rank.ID)
+		for {
+			word, ok := f.Pop()
+			if !ok {
+				break
+			}
+			kind, winID, src, value := unpackWord(word)
+			e.applyControl(kind, e.win(winID), src, value)
+		}
+	}
+}
+
+// processLockBacklog serves lock/unlock requests queued by step 5 (step 6).
+func (e *Engine) processLockBacklog() {
+	for len(e.lockBacklog) > 0 {
+		work := e.lockBacklog
+		e.lockBacklog = nil
+		for _, lw := range work {
+			if lw.release {
+				lw.w.agent.unlock(lw.src)
+			} else {
+				lw.w.agent.request(lw.src, lw.shared)
+			}
+		}
+	}
+}

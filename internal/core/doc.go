@@ -1,0 +1,26 @@
+// Package core implements the paper's contribution: MPI one-sided (RMA)
+// windows and epochs with entirely nonblocking synchronizations.
+//
+// It provides, per the paper's Section V API:
+//
+//   - blocking epoch synchronizations: Fence, Start, Complete, Post,
+//     WaitEpoch, Lock, Unlock, LockAll, UnlockAll, and the flush family;
+//   - their nonblocking I-counterparts (IFence, IStart, IComplete, IPost,
+//     IWait, ILock, IUnlock, ILockAll, IUnlockAll, IFlush...), each
+//     returning a request whose completion is detected with the usual
+//     Wait/Test family;
+//   - RMA communication calls: Put, Get, Accumulate, GetAccumulate,
+//     FetchAndOp, CompareAndSwap and their request-based R-variants.
+//
+// Internally it realizes the paper's Section VI/VII design: deferred epochs
+// with serial activation and an activation predicate, info-object reorder
+// flags (A_A_A_R, A_A_E_R, E_A_E_R, E_A_A_R) for aggressive out-of-order
+// epoch progression, O(1) epoch matching through per-peer triples of 64-bit
+// counters, per-target done packets emitted as soon as that target's last
+// transfer completes, age-stamped nonblocking flushes, and a 7-step RMA
+// progress engine that collaborates with the two-sided engine in
+// internal/mpi. A ModeVanilla window reproduces the MVAPICH 2-1.9 baseline
+// behaviour the paper compares against (lazy lock acquisition; closing
+// synchronizations that wait for every target to be ready before issuing
+// any transfer).
+package core

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+// Engine is one rank's RMA progress engine. It has two faces:
+//
+//   - nicDeliver runs in kernel context on packet delivery and models the
+//     autonomous NIC/HCA: it fulfils data transfers into window memory,
+//     updates the one-sided ω counters, serves the passive-target lock
+//     agent for internode requesters, and raises completion events — all
+//     without the owning rank's CPU;
+//   - Progress runs in the rank's proc context whenever the rank is inside
+//     an MPI call, and performs the CPU-side sweep of Section VII-D's
+//     seven steps.
+//
+// The engine registers itself into mpi.Rank's progress list so that — per
+// the paper — RMA calls progress two-sided/collective traffic and vice
+// versa.
+type Engine struct {
+	rt   *Runtime
+	rank *mpi.Rank
+
+	windows   map[int64]*Window
+	winList   []*Window
+	nextWinID int64
+
+	// cpuQueue holds NIC-raised events that need origin CPU processing
+	// (e.g. large-accumulate CTS handling) — consumed in step 1.
+	cpuQueue []func()
+
+	// backlog holds intranode FIFO words that did not fit their ring —
+	// retried in step 4.
+	backlog []fifoWordTo
+
+	// lockBacklog holds intranode lock/unlock work queued by step 5 for
+	// batch processing in step 6.
+	lockBacklog []lockWork
+
+	// nodePeers caches the same-node peer ranks for the FIFO sweep.
+	nodePeers []int
+
+	// Sweeps counts Progress invocations (diagnostics).
+	Sweeps int64
+}
+
+type fifoWordTo struct {
+	dst  int
+	word uint64
+}
+
+func newEngine(rt *Runtime, r *mpi.Rank) *Engine {
+	e := &Engine{rt: rt, rank: r, windows: make(map[int64]*Window)}
+	cfg := rt.world.Net.Cfg
+	for p := 0; p < rt.world.Size(); p++ {
+		if p != r.ID && cfg.SameNode(r.ID, p) {
+			e.nodePeers = append(e.nodePeers, p)
+		}
+	}
+	r.SetRMAHandler(e.nicDeliver)
+	r.AddProgress(e.Progress)
+	return e
+}
+
+// Progress performs one comprehensive nonblocking sweep of all pending RMA
+// activity, following the seven steps of Section VII-D.
+func (e *Engine) Progress() {
+	e.Sweeps++
+	// Step 1: verification of the completion of outgoing and incoming
+	// internode messages. Completion-queue processing (credit recovery,
+	// registration-cache put-back) is NIC-modeled; what remains for the
+	// CPU are deferred completion events such as accumulate-rendezvous CTS
+	// handling.
+	e.drainCPUQueue()
+	// Step 2: posting of internode RMA communications.
+	e.postReady(false)
+	// Step 3: batch completion of all possible epochs and activation of
+	// some deferred epochs.
+	e.completeAndActivate()
+	// Step 4: posting of intranode RMA communications (plus retrying FIFO
+	// words that found their ring full).
+	e.postReady(true)
+	e.flushBacklog()
+	// Step 5: consumption of intranode notifications.
+	e.consumeFifos()
+	// Step 6: batch processing of lock/unlock requests queued by step 5.
+	e.processLockBacklog()
+	// Step 7: identical to step 3 — epochs whose conditions were satisfied
+	// by steps 4-6 must complete without waiting for the next sweep.
+	e.completeAndActivate()
+}
+
+func (e *Engine) drainCPUQueue() {
+	for len(e.cpuQueue) > 0 {
+		q := e.cpuQueue
+		e.cpuQueue = nil
+		for _, fn := range q {
+			fn()
+		}
+	}
+}
+
+// postReady issues grant-ready recorded ops. The intranode flag splits the
+// sweep into the paper's steps 2 and 4; ops whose target locality does not
+// match are left recorded for the other step.
+func (e *Engine) postReady(intranode bool) {
+	cfg := e.rt.world.Net.Cfg
+	for _, w := range e.winList {
+		if w.mode == ModeVanilla {
+			continue // vanilla issues only from its closing synchronizations
+		}
+		for _, ep := range w.epochs {
+			if !ep.activated || ep.recLive == 0 {
+				continue
+			}
+			kept := ep.recorded[:0]
+			for _, o := range ep.recorded {
+				if o.issued {
+					continue
+				}
+				local := cfg.SameNode(e.rank.ID, o.target)
+				if local == intranode && ep.granted(o.target) {
+					ep.popBucket(o)
+					ep.recLive--
+					e.issue(o)
+				} else {
+					kept = append(kept, o)
+				}
+			}
+			ep.recorded = kept
+		}
+	}
+}
+
+func (e *Engine) completeAndActivate() {
+	for _, w := range e.winList {
+		for _, ep := range w.epochs {
+			ep.maybeComplete()
+		}
+		w.scanActivate()
+		w.dirty = false
+	}
+}
+
+// nicDeliver demultiplexes RMA packets in kernel context.
+func (e *Engine) nicDeliver(p *fabric.Packet) {
+	switch p.Kind {
+	case fabric.KindPutData:
+		wo := p.Payload.(*wireOp)
+		tw := e.win(p.Arg[0])
+		if wo.op.vec != nil {
+			tw.applyPutVector(wo.op.off, wo.op.data, *wo.op.vec)
+		} else {
+			tw.applyPut(wo.op.off, wo.op.data, wo.op.size)
+		}
+		tw.emitArrival(traceDataIn, p.Src, wo.op.size)
+		wo.eng.opDelivered(wo.op)
+
+	case fabric.KindGetReq:
+		wo := p.Payload.(*wireOp)
+		tw := e.win(p.Arg[0])
+		var data []byte
+		if wo.op.vec != nil {
+			data = tw.snapshotVector(wo.op.off, *wo.op.vec)
+		} else {
+			data = tw.snapshot(wo.op.off, wo.op.size)
+		}
+		e.respond(p, fabric.KindGetResp, wo, wo.op.size, data)
+
+	case fabric.KindGetResp:
+		wo := p.Payload.(*wireOp)
+		fillResult(wo.op, p)
+		wo.eng.opDelivered(wo.op)
+
+	case fabric.KindAccData:
+		wo := p.Payload.(*wireOp)
+		tw := e.win(p.Arg[0])
+		tw.applyAcc(wo.op.off, wo.op.data, wo.op.size, wo.op.op, wo.op.dtype)
+		tw.emitArrival(traceDataIn, p.Src, wo.op.size)
+		wo.eng.opDelivered(wo.op)
+
+	case fabric.KindAccRTS:
+		// Target-side intermediate buffer reserved; clear the origin to
+		// send. The CTS needs origin CPU processing (step 1), which is
+		// exactly what denies overlapping to large accumulates.
+		wo := p.Payload.(*wireOp)
+		e.respond(p, fabric.KindAccCTS, wo, ctrlBytes, nil)
+
+	case fabric.KindAccCTS:
+		wo := p.Payload.(*wireOp)
+		op := wo.op
+		e.cpuQueue = append(e.cpuQueue, func() {
+			op.ctsWait = false
+			e.post(op, fabric.KindAccData, op.size)
+		})
+		e.rank.Wake.Fire()
+
+	case fabric.KindGetAccReq:
+		wo := p.Payload.(*wireOp)
+		tw := e.win(p.Arg[0])
+		old := tw.snapshot(wo.op.off, wo.op.size)
+		tw.applyAcc(wo.op.off, wo.op.data, wo.op.size, wo.op.op, wo.op.dtype)
+		e.respond(p, fabric.KindGetAccResp, wo, ctrlBytes+wo.op.size, old)
+
+	case fabric.KindGetAccResp:
+		wo := p.Payload.(*wireOp)
+		fillResult(wo.op, p)
+		wo.eng.opDelivered(wo.op)
+
+	case fabric.KindCASReq:
+		wo := p.Payload.(*wireOp)
+		tw := e.win(p.Arg[0])
+		old := tw.snapshot(wo.op.off, wo.op.size)
+		if tw.buf != nil && bytesEqual(old, wo.op.cmp) {
+			copy(tw.buf[wo.op.off:wo.op.off+wo.op.size], wo.op.data)
+		}
+		e.respond(p, fabric.KindCASResp, wo, ctrlBytes+wo.op.size, old)
+
+	case fabric.KindCASResp:
+		wo := p.Payload.(*wireOp)
+		fillResult(wo.op, p)
+		wo.eng.opDelivered(wo.op)
+
+	case fabric.KindPostNotify, fabric.KindLockGrant:
+		e.applyControl(ctlGrant, e.win(p.Arg[0]), p.Src, p.Arg[1])
+
+	case fabric.KindDone:
+		e.applyControl(ctlDone, e.win(p.Arg[0]), p.Src, p.Arg[1])
+
+	case fabric.KindLockReq:
+		w := e.win(p.Arg[0])
+		w.agent.request(p.Src, p.Arg[1] == 1)
+
+	case fabric.KindUnlock:
+		w := e.win(p.Arg[0])
+		w.agent.unlock(p.Src)
+
+	default:
+		panic(fmt.Sprintf("core: rank %d got unexpected packet kind %d", e.rank.ID, p.Kind))
+	}
+}
+
+// win resolves a window id on this rank.
+func (e *Engine) win(id int64) *Window {
+	w := e.windows[id]
+	if w == nil {
+		panic(fmt.Sprintf("core: rank %d has no window %d", e.rank.ID, id))
+	}
+	return w
+}
+
+// respond posts a response packet back to the requester (NIC-autonomous).
+func (e *Engine) respond(req *fabric.Packet, kind fabric.Kind, wo *wireOp, size int64, data []byte) {
+	wo.resp = data
+	e.rank.Send(&fabric.Packet{
+		Src: e.rank.ID, Dst: req.Src, Kind: kind, Size: size,
+		Payload: wo, Arg: [4]int64{req.Arg[0], 0, 0, 0},
+	})
+}
+
+// fillResult copies a fetched value into the op's result buffer.
+func fillResult(o *rmaOp, p *fabric.Packet) {
+	wo := p.Payload.(*wireOp)
+	if o.buf != nil && wo.resp != nil {
+		copy(o.buf[:o.size], wo.resp)
+	}
+}
+
+// deliverSelf fulfils a self-targeted op through the loopback path after
+// the intranode copy latency; scheduling it as an event avoids reentering
+// epoch state mid-issue.
+func (e *Engine) deliverSelf(o *rmaOp) {
+	w := o.ep.win
+	cfg := e.rt.world.Net.Cfg
+	d := cfg.AlphaIntra + cfg.IntraCopyTime(o.size)
+	e.rt.world.K.After(d, func() {
+		switch o.class {
+		case opPut:
+			if o.vec != nil {
+				w.applyPutVector(o.off, o.data, *o.vec)
+			} else {
+				w.applyPut(o.off, o.data, o.size)
+			}
+		case opGet:
+			if o.vec != nil {
+				if snap := w.snapshotVector(o.off, *o.vec); snap != nil && o.buf != nil {
+					copy(o.buf[:o.size], snap)
+				}
+			} else if o.buf != nil && w.buf != nil {
+				copy(o.buf[:o.size], w.buf[o.off:o.off+o.size])
+			}
+		case opAcc:
+			w.applyAcc(o.off, o.data, o.size, o.op, o.dtype)
+		case opGetAcc:
+			old := w.snapshot(o.off, o.size)
+			w.applyAcc(o.off, o.data, o.size, o.op, o.dtype)
+			if o.buf != nil && old != nil {
+				copy(o.buf[:o.size], old)
+			}
+		case opCAS:
+			old := w.snapshot(o.off, o.size)
+			if w.buf != nil && bytesEqual(old, o.cmp) {
+				copy(w.buf[o.off:o.off+o.size], o.data)
+			}
+			if o.buf != nil && old != nil {
+				copy(o.buf[:o.size], old)
+			}
+		}
+		e.opDelivered(o)
+	})
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Epoch is the middleware-side epoch object (Section VII-A): created
+// inactive when the application opens an epoch, possibly deferred, then
+// activated by the progress engine, and finally completed once all its
+// origin- or target-side completion conditions hold.
+type Epoch struct {
+	win  *Window
+	kind EpochKind
+	seq  int64 // program-order index within the window
+
+	shared  bool // lock epochs: shared (true) or exclusive (false)
+	noCheck bool // MPI_MODE_NOCHECK: skip the lock-acquisition protocol
+
+	// Lifecycle flags (Section VI's "application-level lifetime" vs
+	// "internal lifetime").
+	activated bool
+	closedApp bool // the application issued the closing synchronization
+	completed bool // internal lifetime over; successors may activate
+
+	// Access side.
+	targets    []int            // peers this epoch may access
+	targetSet  map[int]bool     // fast coverage lookup for large groups
+	accessID   map[int]int64    // per-target A_i, assigned at activation
+	recorded   []*rmaOp         // program order; issued entries are skipped
+	recByTgt   map[int][]*rmaOp // per-target recorded queues (program order)
+	recLive    int              // recorded-but-unissued op count
+	pending    map[int]int      // issued-but-incomplete op count per target
+	pendingAll int              // total issued-but-incomplete ops
+	usedTarget map[int]bool     // targets this epoch actually communicated with
+	donePosted map[int]bool     // done/unlock packet posted per target
+	doneCount  int              // number of done/unlock packets posted
+
+	// Exposure side.
+	origins  []int
+	exposeID map[int]int64 // per-origin e_l id, assigned at activation
+
+	// extents records access ranges when conflict checking is enabled.
+	extents []opExtent
+
+	// Fence epochs double as both sides; round is the fence round index.
+	round int64
+
+	// Requests (Section VII-C: specialized request objects).
+	openReq  *mpi.Request // dummy, pre-completed
+	closeReq *mpi.Request // completes when the epoch completes
+}
+
+func newEpoch(w *Window, kind EpochKind) *Epoch {
+	// Maps are allocated lazily on first write: a typical exposure epoch
+	// never touches the access-side maps and vice versa, and epochs are
+	// created at very high rates in application workloads.
+	ep := &Epoch{win: w, kind: kind, seq: w.nextEpochSeq}
+	w.nextEpochSeq++
+	w.stats.EpochsOpened++
+	return ep
+}
+
+// ensureAccessMaps lazily allocates the access-side maps.
+func (ep *Epoch) ensureAccessMaps(hint int) {
+	if ep.accessID == nil {
+		ep.accessID = make(map[int]int64, hint)
+		ep.pending = make(map[int]int, hint)
+		ep.donePosted = make(map[int]bool, hint)
+	}
+}
+
+// ensureExposeMap lazily allocates the exposure-side map.
+func (ep *Epoch) ensureExposeMap(hint int) {
+	if ep.exposeID == nil {
+		ep.exposeID = make(map[int]int64, hint)
+	}
+}
+
+// coversTarget reports whether the epoch's access side includes rank t.
+func (ep *Epoch) coversTarget(t int) bool {
+	if !ep.kind.isAccessRole() {
+		return false
+	}
+	switch ep.kind {
+	case EpochFence, EpochLockAll:
+		return t >= 0 && t < ep.win.n
+	default:
+		if ep.targetSet != nil {
+			return ep.targetSet[t]
+		}
+		for _, x := range ep.targets {
+			if x == t {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// setTargets installs the access-side target group, building the fast
+// lookup set for large groups.
+func (ep *Epoch) setTargets(ts []int) {
+	ep.targets = ts
+	if len(ts) > 8 {
+		ep.targetSet = make(map[int]bool, len(ts))
+		for _, t := range ts {
+			ep.targetSet[t] = true
+		}
+	}
+}
+
+// record appends an op to both the program-order log and its per-target
+// queue.
+func (ep *Epoch) record(o *rmaOp) {
+	ep.recorded = append(ep.recorded, o)
+	if ep.recByTgt == nil {
+		ep.recByTgt = make(map[int][]*rmaOp)
+	}
+	ep.recByTgt[o.target] = append(ep.recByTgt[o.target], o)
+	ep.recLive++
+}
+
+// popBucket removes o from its per-target queue (o is normally the head).
+func (ep *Epoch) popBucket(o *rmaOp) {
+	b := ep.recByTgt[o.target]
+	for i, x := range b {
+		if x == o {
+			b = append(b[:i:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(ep.recByTgt, o.target)
+	} else {
+		ep.recByTgt[o.target] = b
+	}
+}
+
+// accessTargets returns the peers on the access side (fence and lock_all
+// cover the whole window).
+func (ep *Epoch) accessTargets() []int {
+	switch ep.kind {
+	case EpochFence, EpochLockAll:
+		all := make([]int, ep.win.n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	default:
+		return ep.targets
+	}
+}
+
+// exposureOrigins returns the peers on the exposure side.
+func (ep *Epoch) exposureOrigins() []int {
+	if ep.kind == EpochFence {
+		all := make([]int, ep.win.n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return ep.origins
+}
+
+// granted reports whether target t has granted this epoch's access.
+func (ep *Epoch) granted(t int) bool {
+	if ep.noCheck {
+		return ep.activated // MPI_MODE_NOCHECK: asserted by the caller
+	}
+	id, ok := ep.accessID[t]
+	if !ok {
+		return false // not activated yet
+	}
+	return ep.win.peers[t].granted(id)
+}
+
+// accessSideDone reports whether all origin-side completion conditions
+// hold: activated, application-closed, nothing recorded, nothing in
+// flight, and every used target's done/unlock packet posted.
+func (ep *Epoch) accessSideDone() bool {
+	if !ep.kind.isAccessRole() {
+		return true
+	}
+	if !ep.activated || !ep.closedApp || ep.recLive > 0 || ep.pendingAll > 0 {
+		return false
+	}
+	return ep.doneCount == ep.doneTargetCount()
+}
+
+// doneTargetCount is len(doneTargets()) without the allocation.
+func (ep *Epoch) doneTargetCount() int {
+	switch ep.kind {
+	case EpochFence, EpochLockAll:
+		return ep.win.n
+	case EpochAccess, EpochLock:
+		return len(ep.targets)
+	default:
+		return 0
+	}
+}
+
+// doneTargets returns the peers that must receive a done/unlock packet when
+// this epoch closes. GATS and fence epochs notify the whole group (their
+// exposure side blocks on it); lock epochs notify (unlock) only their
+// target; lock_all unlocks every peer it actually locked (all of them).
+func (ep *Epoch) doneTargets() []int {
+	switch ep.kind {
+	case EpochAccess, EpochFence, EpochLock, EpochLockAll:
+		return ep.accessTargets()
+	default:
+		return nil
+	}
+}
+
+// exposureSideDone reports whether all target-side completion conditions
+// hold: application-closed (Wait/IWait called — for fence, the closing
+// fence call) and a done packet received from every origin in the group.
+func (ep *Epoch) exposureSideDone() bool {
+	if !ep.kind.isExposureRole() {
+		return true
+	}
+	if !ep.activated || !ep.closedApp {
+		return false
+	}
+	for _, o := range ep.exposureOrigins() {
+		id, ok := ep.exposeID[o]
+		if !ok {
+			return false
+		}
+		if !ep.win.peers[o].exposureComplete(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeComplete checks all completion conditions and, when they hold,
+// completes the epoch: the closing request fires, and the window is marked
+// for an activation scan so successors can proceed. Safe to call from both
+// NIC and engine context.
+func (ep *Epoch) maybeComplete() {
+	if ep.completed {
+		return
+	}
+	if !ep.accessSideDone() || !ep.exposureSideDone() {
+		return
+	}
+	ep.completed = true
+	ep.win.stats.EpochsCompleted++
+	ep.win.emitEpoch(traceComplete, ep)
+	if ep.closeReq != nil {
+		ep.closeReq.Complete()
+	}
+	ep.win.dirty = true
+	ep.win.rank.Wake.Fire()
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (ep *Epoch) String() string {
+	return fmt.Sprintf("epoch{win=%d rank=%d kind=%s seq=%d act=%t closed=%t done=%t}",
+		ep.win.id, ep.win.rank.ID, ep.kind, ep.seq, ep.activated, ep.closedApp, ep.completed)
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestSectionVIIBMatchingExample reproduces the paper's Section VII-B
+// example: P0 opens six access epochs toward target groups T0..T5 in
+// order; P1 belongs to T0,T1,T2,T3,T5 and P2 to T4,T5. P2's second
+// exposure can be opened "far ahead" of P0's sixth access epoch, and the
+// grant must persist until P0 catches up.
+func TestSectionVIIBMatchingExample(t *testing.T) {
+	w, rt := testWorld(t, 3)
+	groups := [][]int{{1}, {1}, {1}, {1}, {2}, {1, 2}}
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1024, WinOptions{Mode: ModeNew})
+		switch r.ID {
+		case 0:
+			for i, g := range groups {
+				win.Start(g)
+				for _, tgt := range g {
+					data := []byte{byte(i + 1)}
+					win.Put(tgt, int64(i), data, 1)
+				}
+				win.Complete()
+			}
+		case 1:
+			// P1 exposes 5 times, matching epochs 0,1,2,3,5 FIFO.
+			for i := 0; i < 5; i++ {
+				win.Post([]int{0})
+				win.WaitEpoch()
+			}
+		case 2:
+			// P2 opens BOTH its exposures immediately, far ahead of P0's
+			// 5th and 6th access epochs.
+			win.IPost([]int{0})
+			q1 := win.IWait()
+			win.IPost([]int{0})
+			q2 := win.IWait()
+			r.Wait(q1, q2)
+			if win.Bytes()[4] != 5 || win.Bytes()[5] != 6 {
+				t.Errorf("P2 window bytes %v, want puts from epochs 5 and 6", win.Bytes()[:8])
+			}
+		}
+		win.Quiesce()
+	})
+}
+
+func TestDeferredEpochRecordsAndReplays(t *testing.T) {
+	// A second GATS epoch opened while the first is incomplete stays
+	// deferred (flags off); its put is recorded and replayed on activation.
+	w, rt := testWorld(t, 3)
+	var order []byte
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		switch r.ID {
+		case 0:
+			win.IStart([]int{1})
+			win.Put(1, 0, []byte{1}, 1)
+			q1 := win.IComplete()
+			win.IStart([]int{2}) // deferred: epoch 1 incomplete, AAAR off
+			win.Put(2, 0, []byte{2}, 1)
+			q2 := win.IComplete()
+			r.Wait(q1, q2)
+		case 1:
+			r.Compute(200 * sim.Microsecond) // delay epoch 1
+			win.Post([]int{0})
+			win.WaitEpoch()
+			order = append(order, 1)
+		case 2:
+			win.Post([]int{0})
+			win.WaitEpoch()
+			order = append(order, 2)
+		}
+		win.Quiesce()
+	})
+	// Without AAAR, epoch 2 must complete after epoch 1 despite target 2
+	// being ready first — serialization inside the progress engine.
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("completion order %v, want [1 2] (no reorder without AAAR)", order)
+	}
+}
+
+func TestAAARAllowsOutOfOrderCompletion(t *testing.T) {
+	w, rt := testWorld(t, 3)
+	var order []byte
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew, Info: Info{AAAR: true}})
+		switch r.ID {
+		case 0:
+			win.IStart([]int{1})
+			win.Put(1, 0, []byte{1}, 1)
+			q1 := win.IComplete()
+			win.IStart([]int{2})
+			win.Put(2, 0, []byte{2}, 1)
+			q2 := win.IComplete()
+			r.Wait(q1, q2)
+		case 1:
+			r.Compute(200 * sim.Microsecond)
+			win.Post([]int{0})
+			win.WaitEpoch()
+			order = append(order, 1)
+		case 2:
+			win.Post([]int{0})
+			win.WaitEpoch()
+			order = append(order, 2)
+		}
+		win.Quiesce()
+	})
+	if len(order) != 2 || order[0] != 2 {
+		t.Fatalf("completion order %v, want target 2 first under AAAR", order)
+	}
+}
+
+func TestFenceNeverReorders(t *testing.T) {
+	// Even with every flag on, a fence epoch serializes its neighbours.
+	w, rt := testWorld(t, 2)
+	info := Info{AAAR: true, AAER: true, EAER: true, EAAR: true}
+	var fenceDone, lockDone sim.Time
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeNew, ShapeOnly: true, Info: info})
+		if r.ID == 0 {
+			win.IFence(AssertNone)
+			win.Put(1, 0, nil, 1<<20)
+			fq := win.IFence(AssertNoSucceed)
+			fq.OnComplete(func() { fenceDone = r.Now() })
+			// A lock epoch behind a fence must not activate early.
+			win.ILock(1, true)
+			win.Put(1, 0, nil, 4)
+			lq := win.IUnlock(1)
+			lq.OnComplete(func() { lockDone = r.Now() })
+			r.Wait(fq, lq)
+		} else {
+			win.IFence(AssertNone)
+			r.Wait(win.IFence(AssertNoSucceed))
+		}
+		win.Quiesce()
+	})
+	if lockDone < fenceDone {
+		t.Fatalf("lock epoch (done %d) overtook the fence epoch (done %d)", lockDone, fenceDone)
+	}
+}
+
+func TestNoWriteReorderingWithFlagsOff(t *testing.T) {
+	// Two back-to-back lock epochs writing the same location: with flags
+	// off, the second epoch's value must win.
+	w, rt := testWorld(t, 2)
+	var final byte
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.ILock(1, true)
+			win.Put(1, 0, []byte{1}, 1)
+			q1 := win.IUnlock(1)
+			win.ILock(1, true)
+			win.Put(1, 0, []byte{2}, 1)
+			q2 := win.IUnlock(1)
+			r.Wait(q1, q2)
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			final = win.Bytes()[0]
+		}
+		win.Quiesce()
+	})
+	if final != 2 {
+		t.Fatalf("program-order write lost: final=%d, want 2", final)
+	}
+}
+
+func TestEpochSerialActivationNeverSkips(t *testing.T) {
+	// Three epochs with AAAR off: each must activate only after its
+	// predecessor completes, and never out of order, even when later
+	// epochs' targets are ready first.
+	w, rt := testWorld(t, 4)
+	var doneOrder []int
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			var reqs []*mpi.Request
+			for tgt := 1; tgt <= 3; tgt++ {
+				win.IStart([]int{tgt})
+				win.Put(tgt, 0, []byte{byte(tgt)}, 1)
+				reqs = append(reqs, win.IComplete())
+			}
+			r.Wait(reqs...)
+		} else {
+			// Later targets are ready sooner.
+			r.Compute(sim.Time(4-r.ID) * 100 * sim.Microsecond)
+			win.Post([]int{0})
+			win.WaitEpoch()
+			doneOrder = append(doneOrder, r.ID)
+		}
+		win.Quiesce()
+	})
+	want := []int{1, 2, 3}
+	for i := range want {
+		if doneOrder[i] != want[i] {
+			t.Fatalf("exposure completion order %v, want %v (rule 4: no skipping)", doneOrder, want)
+		}
+	}
+}
+
+func TestTestEpochPollsAndCloses(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	polls := 0
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeNew, ShapeOnly: true})
+		if r.ID == 0 {
+			win.Start([]int{1})
+			win.Put(1, 0, nil, 1<<20)
+			win.Complete()
+		} else {
+			win.Post([]int{0})
+			for !win.TestEpoch() {
+				polls++
+				r.Compute(50 * sim.Microsecond)
+			}
+		}
+		win.Quiesce()
+	})
+	if polls == 0 {
+		t.Fatal("TestEpoch returned true before the 1MB transfer could finish")
+	}
+}
+
+func TestRequestBasedOps(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			binary.LittleEndian.PutUint64(win.Bytes(), 123)
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			win.Lock(0, false)
+			buf := make([]byte, 8)
+			greq := win.RGet(0, 0, buf, 8)
+			r.Wait(greq)
+			if binary.LittleEndian.Uint64(buf) != 123 {
+				t.Errorf("RGet got %d, want 123", binary.LittleEndian.Uint64(buf))
+			}
+			data := make([]byte, 8)
+			binary.LittleEndian.PutUint64(data, 321)
+			preq := win.RPut(0, 8, data, 8)
+			r.Wait(preq)
+			areq := win.RAccumulate(0, 8, OpSum, TUint64, data, 8)
+			r.Wait(areq)
+			res := make([]byte, 8)
+			gareq := win.RGetAccumulate(0, 8, OpNoOp, TUint64, nil, res, 8)
+			r.Wait(gareq)
+			if binary.LittleEndian.Uint64(res) != 642 {
+				t.Errorf("RGetAccumulate read %d, want 642", binary.LittleEndian.Uint64(res))
+			}
+			win.Unlock(0)
+		}
+		r.Barrier()
+		win.Quiesce()
+	})
+}
+
+func TestLargeAccumulateRendezvous(t *testing.T) {
+	// >8KB accumulate takes the rendezvous path; verify correctness.
+	w, rt := testWorld(t, 2)
+	const elems = 2048 // 16 KB
+	var ok bool
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, elems*8, WinOptions{Mode: ModeNew})
+		if r.ID == 1 {
+			win.Lock(0, false)
+			data := make([]byte, elems*8)
+			for i := 0; i < elems; i++ {
+				binary.LittleEndian.PutUint64(data[i*8:], uint64(i))
+			}
+			win.Accumulate(0, 0, OpSum, TUint64, data, elems*8)
+			win.Unlock(0)
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			ok = true
+			for i := 0; i < elems; i++ {
+				if binary.LittleEndian.Uint64(win.Bytes()[i*8:]) != uint64(i) {
+					ok = false
+					break
+				}
+			}
+		}
+		win.Quiesce()
+	})
+	if !ok {
+		t.Fatal("large accumulate corrupted data")
+	}
+}
+
+func TestSharedLockConcurrentReaders(t *testing.T) {
+	w, rt := testWorld(t, 4)
+	var t1, t2, t3 sim.Time
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeNew, ShapeOnly: true})
+		if r.ID != 0 {
+			t0 := r.Now()
+			win.Lock(0, false) // shared
+			win.Get(0, 0, nil, 1<<19)
+			win.Unlock(0)
+			d := r.Now() - t0
+			switch r.ID {
+			case 1:
+				t1 = d
+			case 2:
+				t2 = d
+			case 3:
+				t3 = d
+			}
+		}
+		r.Barrier()
+		win.Quiesce()
+	})
+	// Shared locks do not serialize: all three readers should take about
+	// one transfer time, not three.
+	limit := 600 * sim.Microsecond
+	if t1 > limit || t2 > limit || t3 > limit {
+		t.Fatalf("shared readers serialized: %d %d %d us", t1/sim.Microsecond, t2/sim.Microsecond, t3/sim.Microsecond)
+	}
+}
+
+func TestExclusiveLockSerializesWriters(t *testing.T) {
+	w, rt := testWorld(t, 3)
+	var total sim.Time
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeNew, ShapeOnly: true})
+		r.Barrier()
+		t0 := r.Now()
+		if r.ID != 0 {
+			win.Lock(0, true)
+			win.Put(0, 0, nil, 1<<20)
+			win.Unlock(0)
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			total = r.Now() - t0
+		}
+		win.Quiesce()
+	})
+	// Two exclusive 1MB epochs must serialize: >= ~2 transfer times.
+	if total < 650*sim.Microsecond {
+		t.Fatalf("exclusive epochs overlapped: total %d us", total/sim.Microsecond)
+	}
+}
+
+func TestOpOutsideEpochPanics(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.Put(1, 0, nil, 8)
+		}
+	})
+	if err == nil {
+		t.Fatal("RMA op outside an epoch should fail the run")
+	}
+}
+
+func TestRangeCheck(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.Lock(1, false)
+			win.Put(1, 60, nil, 8) // overruns the 64-byte window
+			win.Unlock(1)
+		}
+	})
+	if err == nil {
+		t.Fatal("out-of-range RMA should fail the run")
+	}
+}
+
+func TestShapeOnlyRejectsData(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew, ShapeOnly: true})
+		if r.ID == 0 {
+			win.Lock(1, false)
+			win.Put(1, 0, []byte{1}, 1)
+			win.Unlock(1)
+		}
+	})
+	if err == nil {
+		t.Fatal("data-carrying op on a shape-only window should fail")
+	}
+}
+
+func TestSelfCommunication(t *testing.T) {
+	// l == r: the paper explicitly allows P_l and P_r to be the same.
+	w, rt := testWorld(t, 2)
+	var got uint64
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.Lock(0, true) // lock self
+			data := make([]byte, 8)
+			binary.LittleEndian.PutUint64(data, 9)
+			win.Accumulate(0, 0, OpSum, TUint64, data, 8)
+			win.Accumulate(0, 0, OpSum, TUint64, data, 8)
+			win.Unlock(0)
+			got = binary.LittleEndian.Uint64(win.Bytes())
+		}
+		win.Quiesce()
+		r.Barrier()
+	})
+	if got != 18 {
+		t.Fatalf("self accumulate got %d, want 18", got)
+	}
+}
+
+func TestMixedBlockingNonblocking(t *testing.T) {
+	// Rule 1: any combination of blocking and nonblocking open/close.
+	w, rt := testWorld(t, 2)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.IStart([]int{1}) // nonblocking open
+			win.Put(1, 0, []byte{1}, 1)
+			win.Complete() // blocking close
+			win.Start([]int{1})
+			win.Put(1, 1, []byte{2}, 1)
+			r.Wait(win.IComplete()) // nonblocking close
+		} else {
+			win.IPost([]int{0})
+			win.WaitEpoch() // blocking close of a nonblocking open
+			win.Post([]int{0})
+			r.Wait(win.IWait())
+			if win.Bytes()[0] != 1 || win.Bytes()[1] != 2 {
+				t.Errorf("data %v, want [1 2]", win.Bytes()[:2])
+			}
+		}
+		win.Quiesce()
+	})
+}
+
+func TestOpeningRequestsArePreCompleted(t *testing.T) {
+	// Section VII-C: nonblocking epoch-opening routines return dummy
+	// requests flagged complete at creation time.
+	w, rt := testWorld(t, 2)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			if !win.IStart([]int{1}).Done() {
+				t.Error("IStart request not pre-completed")
+			}
+			r.Wait(win.IComplete())
+			if !win.ILock(1, false).Done() {
+				t.Error("ILock request not pre-completed")
+			}
+			r.Wait(win.IUnlock(1))
+			if !win.ILockAll().Done() {
+				t.Error("ILockAll request not pre-completed")
+			}
+			r.Wait(win.IUnlockAll())
+		} else {
+			if !win.IPost([]int{0}).Done() {
+				t.Error("IPost request not pre-completed")
+			}
+			r.Wait(win.IWait())
+		}
+		win.Quiesce()
+	})
+}
+
+func TestLockAllEpoch(t *testing.T) {
+	w, rt := testWorld(t, 3)
+	sums := make([]uint64, 3)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		win.LockAll()
+		data := make([]byte, 8)
+		binary.LittleEndian.PutUint64(data, uint64(r.ID+1))
+		for tgt := 0; tgt < 3; tgt++ {
+			win.Accumulate(tgt, 0, OpSum, TUint64, data, 8)
+		}
+		win.UnlockAll()
+		r.Barrier()
+		sums[r.ID] = binary.LittleEndian.Uint64(win.Bytes())
+		win.Quiesce()
+		r.Barrier()
+	})
+	for i, s := range sums {
+		if s != 6 {
+			t.Fatalf("rank %d sum %d, want 6 (1+2+3)", i, s)
+		}
+	}
+}
+
+func TestVanillaLazyLockAcquiresAtUnlock(t *testing.T) {
+	// Lazy locks: even if another origin app-locks first, an origin that
+	// reaches Unlock first wins the lock (the MVAPICH behaviour behind
+	// Fig 6's Late-Unlock immunity).
+	w, rt := testWorld(t, 3)
+	var o1Dur sim.Time
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeVanilla, ShapeOnly: true})
+		switch r.ID {
+		case 1: // O0: locks first at app level, unlocks late
+			win.Lock(0, true)
+			win.Put(0, 0, nil, 1<<20)
+			r.Compute(1000 * sim.Microsecond)
+			win.Unlock(0)
+		case 2: // O1: locks after O0 but unlocks immediately
+			r.Compute(50 * sim.Microsecond)
+			t0 := r.Now()
+			win.Lock(0, true)
+			win.Put(0, 0, nil, 1<<20)
+			win.Unlock(0)
+			o1Dur = r.Now() - t0
+		}
+		r.Barrier()
+		win.Quiesce()
+	})
+	if o1Dur > 500*sim.Microsecond {
+		t.Fatalf("lazy lock should make O1 immune to Late Unlock; took %d us", o1Dur/sim.Microsecond)
+	}
+}
+
+func TestVanillaWaitsAllTargetsBeforeIssuing(t *testing.T) {
+	// MVAPICH behaviour: with one late target, even the ready target's
+	// data is not issued until everyone is ready.
+	w, rt := testWorld(t, 3)
+	var readyTargetEpoch sim.Time
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeVanilla, ShapeOnly: true})
+		r.Barrier()
+		t0 := r.Now()
+		switch r.ID {
+		case 0:
+			win.Start([]int{1, 2})
+			win.Put(1, 0, nil, 4096)
+			win.Put(2, 0, nil, 4096)
+			win.Complete()
+		case 1: // ready immediately
+			win.Post([]int{0})
+			win.WaitEpoch()
+			readyTargetEpoch = r.Now() - t0
+		case 2: // late
+			r.Compute(500 * sim.Microsecond)
+			win.Post([]int{0})
+			win.WaitEpoch()
+		}
+		win.Quiesce()
+	})
+	if readyTargetEpoch < 500*sim.Microsecond {
+		t.Fatalf("vanilla issued to the ready target before all targets were ready (%d us)", readyTargetEpoch/sim.Microsecond)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Flush family. Blocking flushes are deliberately NOT implemented in terms
+// of their nonblocking equivalents: they "simply invoke the RMA progress
+// engine until some epoch-closing conditions are met" (Section VII-C).
+// Nonblocking flushes use the age-stamping design: every RMA call object
+// carries a monotonically increasing age; an IFlush request is stamped with
+// the age of the call that immediately precedes it and a completion counter
+// holding the number of older incomplete calls in scope; each completing
+// call decrements the counters of the flush requests it is older than.
+
+// flushReq is one outstanding nonblocking flush.
+type flushReq struct {
+	req     *mpi.Request
+	target  int // -1 = all targets
+	local   bool
+	stamp   int64
+	counter int
+}
+
+// settleFlushes lets op completion events decrement matching outstanding
+// flush counters. localEvent distinguishes local (wire-done) from remote
+// (fulfilled) completion.
+func (w *Window) settleFlushes(o *rmaOp, localEvent bool) {
+	if !localEvent {
+		delete(w.liveOps, o)
+	}
+	if len(w.flushes) == 0 {
+		return
+	}
+	kept := w.flushes[:0]
+	for _, f := range w.flushes {
+		if f.local == localEvent && o.age <= f.stamp && (f.target == -1 || f.target == o.target) {
+			f.counter--
+			if f.counter == 0 {
+				f.req.Complete()
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	w.flushes = kept
+}
+
+// requirePassiveEpoch panics unless an open passive-target epoch covers t
+// (t == -1 accepts any passive epoch), mirroring MPI's restriction of the
+// flush family to passive target.
+func (w *Window) requirePassiveEpoch(t int) {
+	for _, ep := range w.openAccess {
+		if ep.kind != EpochLock && ep.kind != EpochLockAll {
+			continue
+		}
+		if t == -1 || ep.coversTarget(t) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: rank %d flushed window %d outside a passive-target epoch", w.rank.ID, w.id))
+}
+
+// newFlush builds a stamped flush request over the currently incomplete
+// RMA calls in scope.
+func (w *Window) newFlush(target int, local bool) *mpi.Request {
+	w.rank.ChargeCall()
+	w.requirePassiveEpoch(target)
+	req := mpi.NewRequest(w.rank)
+	f := &flushReq{req: req, target: target, local: local, stamp: w.opAge}
+	for o := range w.liveOps {
+		if f.target != -1 && o.target != f.target {
+			continue
+		}
+		if o.age > f.stamp {
+			continue
+		}
+		if local && !o.localDone {
+			f.counter++
+		} else if !local && !o.remoteDone {
+			f.counter++
+		}
+	}
+	if f.counter == 0 {
+		req.Complete()
+		return req
+	}
+	w.flushes = append(w.flushes, f)
+	return req
+}
+
+// IFlush completes, nonblockingly, all RMA calls so far issued toward
+// target in the surrounding passive epoch; new RMA calls may be issued
+// before it completes.
+func (w *Window) IFlush(target int) *mpi.Request { return w.newFlush(target, false) }
+
+// IFlushLocal is the local-completion variant of IFlush.
+func (w *Window) IFlushLocal(target int) *mpi.Request { return w.newFlush(target, true) }
+
+// IFlushAll flushes toward every target of the window, nonblockingly.
+func (w *Window) IFlushAll() *mpi.Request { return w.newFlush(-1, false) }
+
+// IFlushLocalAll is the local-completion variant of IFlushAll.
+func (w *Window) IFlushLocalAll() *mpi.Request { return w.newFlush(-1, true) }
+
+// flushWait drives the engine until every in-scope op reaches the wanted
+// completion level; vanilla windows first force lazy epochs forward.
+func (w *Window) flushWait(target int, local bool) {
+	w.rank.ChargeCall()
+	w.requirePassiveEpoch(target)
+	if w.mode == ModeVanilla {
+		w.vanillaForceIssue(target)
+	}
+	w.rank.WaitUntil("flush", func() bool {
+		for o := range w.liveOps {
+			if target != -1 && o.target != target {
+				continue
+			}
+			if local && !o.localDone {
+				return false
+			}
+			if !local && !o.remoteDone {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Flush blocks until all RMA calls issued toward target are complete at
+// the target.
+func (w *Window) Flush(target int) { w.flushWait(target, false) }
+
+// FlushLocal blocks until all RMA calls issued toward target are complete
+// locally (origin buffers reusable).
+func (w *Window) FlushLocal(target int) { w.flushWait(target, true) }
+
+// FlushAll blocks until all RMA calls to every target are complete there.
+func (w *Window) FlushAll() { w.flushWait(-1, false) }
+
+// FlushLocalAll blocks until all RMA calls are locally complete.
+func (w *Window) FlushLocalAll() { w.flushWait(-1, true) }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// intraWorld builds a job where all n ranks share one node, so every
+// control message travels through the wait-free 64-bit FIFOs and is
+// consumed by the peer's engine in steps 5-6.
+func intraWorld(t *testing.T, n int, fifoCap int) (*mpi.World, *Runtime) {
+	t.Helper()
+	cfg := fabric.DefaultConfig()
+	cfg.ProcsPerNode = n
+	if fifoCap > 0 {
+		cfg.FifoCapacity = fifoCap
+	}
+	w := mpi.NewWorld(n, cfg)
+	return w, NewRuntime(w)
+}
+
+func TestIntranodeGATS(t *testing.T) {
+	w, rt := intraWorld(t, 2, 0)
+	payload := []byte("same-node one-sided")
+	var got []byte
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 256, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.IStart([]int{1})
+			win.Put(1, 0, payload, int64(len(payload)))
+			r.Wait(win.IComplete())
+		} else {
+			win.IPost([]int{0})
+			r.Wait(win.IWait())
+			got = append([]byte(nil), win.Bytes()[:len(payload)]...)
+		}
+		win.Quiesce()
+	})
+	if string(got) != string(payload) {
+		t.Fatalf("intranode GATS put got %q", got)
+	}
+}
+
+func TestIntranodeLockViaFIFO(t *testing.T) {
+	// Intranode lock requests are served by the target's engine (steps
+	// 5-6), so the target must be inside MPI for them to progress; here
+	// the target sits in a barrier-loop via Quiesce-like waiting.
+	w, rt := intraWorld(t, 3, 0)
+	var sum uint64
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		if r.ID != 0 {
+			one := make([]byte, 8)
+			binary.LittleEndian.PutUint64(one, 1)
+			for i := 0; i < 4; i++ {
+				win.Lock(0, true)
+				win.Accumulate(0, 0, OpSum, TUint64, one, 8)
+				win.Unlock(0)
+			}
+		}
+		r.Barrier() // keeps rank 0's engine polling while others lock
+		if r.ID == 0 {
+			sum = binary.LittleEndian.Uint64(win.Bytes())
+		}
+		win.Quiesce()
+	})
+	if sum != 8 {
+		t.Fatalf("intranode lock accumulates got %d, want 8", sum)
+	}
+}
+
+func TestIntranodeFIFOBacklog(t *testing.T) {
+	// A 1-slot FIFO forces control words into the engine backlog; the
+	// retry path (step 4) must still deliver everything.
+	w, rt := intraWorld(t, 2, 1)
+	var sum uint64
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		if r.ID == 1 {
+			one := make([]byte, 8)
+			binary.LittleEndian.PutUint64(one, 1)
+			for i := 0; i < 16; i++ {
+				win.Lock(0, true)
+				win.Accumulate(0, 0, OpSum, TUint64, one, 8)
+				win.Unlock(0)
+			}
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			sum = binary.LittleEndian.Uint64(win.Bytes())
+		}
+		win.Quiesce()
+	})
+	if sum != 16 {
+		t.Fatalf("FIFO-backlogged updates got %d, want 16", sum)
+	}
+}
+
+func TestMixedNodeJob(t *testing.T) {
+	// 4 ranks, 2 per node: traffic crosses both the NIC path (0<->2) and
+	// the FIFO path (0<->1).
+	cfg := fabric.DefaultConfig()
+	cfg.ProcsPerNode = 2
+	w := mpi.NewWorld(4, cfg)
+	rt := NewRuntime(w)
+	sums := make([]uint64, 4)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		one := make([]byte, 8)
+		binary.LittleEndian.PutUint64(one, 1)
+		for tgt := 0; tgt < 4; tgt++ {
+			if tgt == r.ID {
+				continue
+			}
+			win.Lock(tgt, true)
+			win.Accumulate(tgt, 0, OpSum, TUint64, one, 8)
+			win.Unlock(tgt)
+		}
+		r.Barrier()
+		sums[r.ID] = binary.LittleEndian.Uint64(win.Bytes())
+		win.Quiesce()
+		r.Barrier()
+	})
+	for i, s := range sums {
+		if s != 3 {
+			t.Fatalf("rank %d sum %d, want 3", i, s)
+		}
+	}
+}
+
+func TestIntranodeFenceEpoch(t *testing.T) {
+	w, rt := intraWorld(t, 4, 0)
+	vals := make([]uint64, 4)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		win.Fence(AssertNone)
+		one := make([]byte, 8)
+		binary.LittleEndian.PutUint64(one, uint64(r.ID+1))
+		win.Accumulate((r.ID+1)%4, 0, OpSum, TUint64, one, 8)
+		win.Fence(AssertNoSucceed)
+		vals[r.ID] = binary.LittleEndian.Uint64(win.Bytes())
+		win.Quiesce()
+		r.Barrier()
+	})
+	for i, v := range vals {
+		want := uint64((i+3)%4) + 1 // neighbour's rank+1
+		if v != want {
+			t.Fatalf("rank %d saw %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestIntranodeLatencyAdvantage(t *testing.T) {
+	// A same-node put must complete much faster than an internode one.
+	measure := func(ppn int) sim.Time {
+		cfg := fabric.DefaultConfig()
+		cfg.ProcsPerNode = ppn
+		w := mpi.NewWorld(2, cfg)
+		rt := NewRuntime(w)
+		var d sim.Time
+		if err := w.Run(func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 1<<16, WinOptions{Mode: ModeNew, ShapeOnly: true})
+			if r.ID == 0 {
+				t0 := r.Now()
+				win.Lock(1, false)
+				win.Put(1, 0, nil, 1<<16)
+				win.Unlock(1)
+				d = r.Now() - t0
+			}
+			r.Barrier()
+			win.Quiesce()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	intra := measure(2)
+	inter := measure(1)
+	if intra >= inter {
+		t.Fatalf("intranode epoch (%d us) should beat internode (%d us)",
+			intra/sim.Microsecond, inter/sim.Microsecond)
+	}
+}

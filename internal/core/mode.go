@@ -1,0 +1,129 @@
+package core
+
+// Mode selects the RMA implementation a window runs on.
+type Mode int
+
+const (
+	// ModeNew is the paper's redesigned RMA stack: eager per-target issue,
+	// deferred-epoch queue, nonblocking synchronizations available.
+	ModeNew Mode = iota
+	// ModeVanilla models MVAPICH 2-1.9: lazy lock acquisition (the whole
+	// lock epoch executes inside Unlock) and closing synchronizations that
+	// wait for all targets to be ready before issuing any transfer.
+	// Nonblocking synchronizations are not available in this mode.
+	ModeVanilla
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNew:
+		return "new"
+	case ModeVanilla:
+		return "vanilla"
+	}
+	return "unknown"
+}
+
+// Info carries the window's info-object key/value pairs: the four Boolean
+// progress-engine optimization flags of Section VI-B. All default to false
+// ("justifiably, all these flags are disabled by default").
+type Info struct {
+	// AAAR (MPI_WIN_ACCESS_AFTER_ACCESS_REORDER): an origin-side epoch may
+	// activate and progress while an immediately preceding origin-side
+	// epoch is still active.
+	AAAR bool
+	// AAER (MPI_WIN_ACCESS_AFTER_EXPOSURE_REORDER): an origin-side epoch
+	// may progress past a still-active preceding exposure epoch.
+	AAER bool
+	// EAER (MPI_WIN_EXPOSURE_AFTER_EXPOSURE_REORDER): a target-side epoch
+	// may progress past a still-active preceding target-side epoch.
+	EAER bool
+	// EAAR (MPI_WIN_EXPOSURE_AFTER_ACCESS_REORDER): a target-side epoch may
+	// progress past a still-active preceding origin-side epoch.
+	EAAR bool
+}
+
+// DType is the element datatype of typed RMA operations.
+type DType int
+
+// Supported element datatypes.
+const (
+	TInt64 DType = iota
+	TUint64
+	TFloat64
+	TByte
+)
+
+// Size returns the element size in bytes.
+func (t DType) Size() int {
+	switch t {
+	case TInt64, TUint64, TFloat64:
+		return 8
+	case TByte:
+		return 1
+	}
+	panic("core: unknown datatype")
+}
+
+// AccOp is the combining operator of accumulate-class operations.
+type AccOp int
+
+// Supported accumulate operators. OpReplace makes Accumulate behave as an
+// atomic put; OpNoOp makes GetAccumulate behave as an atomic get.
+const (
+	OpSum AccOp = iota
+	OpProd
+	OpMax
+	OpMin
+	OpBand
+	OpBor
+	OpBxor
+	OpReplace
+	OpNoOp
+)
+
+// EpochKind identifies the synchronization family an epoch belongs to.
+type EpochKind int
+
+// Epoch kinds.
+const (
+	EpochFence    EpochKind = iota
+	EpochAccess             // GATS origin side (Start/Complete)
+	EpochExposure           // GATS target side (Post/Wait)
+	EpochLock               // passive target, single peer (Lock/Unlock)
+	EpochLockAll            // passive target, all peers (LockAll/UnlockAll)
+)
+
+// String implements fmt.Stringer.
+func (k EpochKind) String() string {
+	switch k {
+	case EpochFence:
+		return "fence"
+	case EpochAccess:
+		return "access"
+	case EpochExposure:
+		return "exposure"
+	case EpochLock:
+		return "lock"
+	case EpochLockAll:
+		return "lock_all"
+	}
+	return "unknown"
+}
+
+// isAccessRole reports whether the kind plays an origin/access role.
+func (k EpochKind) isAccessRole() bool {
+	return k == EpochAccess || k == EpochLock || k == EpochLockAll || k == EpochFence
+}
+
+// isExposureRole reports whether the kind plays a target/exposure role.
+func (k EpochKind) isExposureRole() bool {
+	return k == EpochExposure || k == EpochFence
+}
+
+// reorderExcluded reports whether the kind is excluded from the Section
+// VI-B optimization flags (fence and lock_all epochs always serialize).
+func (k EpochKind) reorderExcluded() bool {
+	return k == EpochFence || k == EpochLockAll
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestNoCheckLockSkipsProtocol(t *testing.T) {
+	// A NOCHECK epoch's transfers start without waiting for a grant, so a
+	// small epoch completes in ~one delivery instead of a full lock RTT.
+	measure := func(noCheck bool) sim.Time {
+		w, rt := testWorld(t, 2)
+		var d sim.Time
+		runJob(t, w, func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+			if r.ID == 0 {
+				t0 := r.Now()
+				win.LockAssert(1, true, noCheck)
+				win.Put(1, 0, []byte{7}, 1)
+				r.Wait(win.IUnlock(1))
+				d = r.Now() - t0
+			}
+			r.Barrier()
+			if r.ID == 1 && win.Bytes()[0] != 7 {
+				t.Error("NOCHECK put not delivered")
+			}
+			win.Quiesce()
+		})
+		return d
+	}
+	checked := measure(false)
+	nocheck := measure(true)
+	if nocheck >= checked {
+		t.Fatalf("NOCHECK (%d us) should beat the checked lock (%d us)",
+			nocheck/sim.Microsecond, checked/sim.Microsecond)
+	}
+}
+
+func TestNoCheckDoesNotDisturbAgent(t *testing.T) {
+	// NOCHECK epochs must not touch the target's lock agent or counters:
+	// a later normal lock epoch still matches correctly.
+	w, rt := testWorld(t, 2)
+	var sum uint64
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			one := make([]byte, 8)
+			binary.LittleEndian.PutUint64(one, 1)
+			win.LockAssert(1, true, true)
+			win.Accumulate(1, 0, OpSum, TUint64, one, 8)
+			win.Unlock(1)
+			// Normal lock epoch afterwards.
+			win.Lock(1, true)
+			win.Accumulate(1, 0, OpSum, TUint64, one, 8)
+			win.Unlock(1)
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			sum = binary.LittleEndian.Uint64(win.Bytes())
+			excl, shared, queued := win.agent.holders()
+			if excl != -1 || shared != 0 || queued != 0 {
+				t.Errorf("agent disturbed: excl=%d shared=%d queued=%d", excl, shared, queued)
+			}
+		}
+		win.Quiesce()
+	})
+	if sum != 2 {
+		t.Fatalf("sum %d, want 2", sum)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+// opClass is the communication class of an rmaOp.
+type opClass int
+
+const (
+	opPut opClass = iota
+	opGet
+	opAcc
+	opGetAcc
+	opCAS
+)
+
+// rmaOp is one RMA communication call, recorded against its epoch and
+// issued to the NIC once the epoch is active and the target has granted
+// access.
+type rmaOp struct {
+	ep     *Epoch
+	class  opClass
+	target int
+	off    int64
+	size   int64
+	data   []byte // origin operand (put/accumulate payload, CAS swap value)
+	buf    []byte // origin destination (get/fetch results)
+	cmp    []byte // CAS compare value
+	dtype  DType
+	op     AccOp
+	age    int64        // monotonic age, for flush stamping (Section VII-C)
+	vec    *vecShape    // strided layout; nil for contiguous ops
+	req    *mpi.Request // request-based variants; nil otherwise
+
+	issued     bool
+	localDone  bool // payload left the origin buffer (wire transmission done)
+	remoteDone bool // transfer fulfilled at the target (and response received)
+	ctsWait    bool // large accumulate waiting for its rendezvous CTS
+}
+
+// addOp validates, records and (when possible) immediately issues an op.
+func (w *Window) addOp(o *rmaOp) {
+	w.checkLive()
+	w.rank.ChargeCall()
+	w.checkRange(o.target, o.off, o.size)
+	if w.buf == nil && (o.data != nil || o.buf != nil || o.cmp != nil) {
+		panic("core: data-carrying RMA operation on a shape-only window")
+	}
+	w.opAge++
+	o.age = w.opAge
+	if w.liveOps == nil {
+		w.liveOps = make(map[*rmaOp]struct{})
+	}
+	w.liveOps[o] = struct{}{}
+	w.stats.OpsIssued++
+	if o.class == opPut || o.class == opAcc {
+		w.stats.BytesOut += o.size
+	}
+	ep := o.ep
+	if w.chkCfl {
+		w.checkConflict(o)
+	}
+	if ep.usedTarget == nil {
+		ep.usedTarget = make(map[int]bool)
+	}
+	ep.usedTarget[o.target] = true
+	ep.record(o)
+	if w.mode == ModeVanilla {
+		// Vanilla issues eagerly only when the target is already known to
+		// be ready at call time (this is what gives MVAPICH in-epoch
+		// overlap for GATS/fence, per Section VIII-A); otherwise the whole
+		// batch waits for the closing synchronization.
+		if ep.activated && ep.granted(o.target) && ep.recordedFor(o.target) == 1 {
+			w.eng.issueBucket(ep, o.target)
+		}
+		return
+	}
+	if ep.activated {
+		w.eng.issueBucket(ep, o.target)
+	}
+}
+
+// recordedFor counts recorded (not yet issued) ops toward target t.
+func (ep *Epoch) recordedFor(t int) int { return len(ep.recByTgt[t]) }
+
+// issueBucket issues every recorded op toward target t, in program order,
+// provided t has granted access. O(bucket) — the fast path driven by
+// grant arrivals and op calls.
+func (e *Engine) issueBucket(ep *Epoch, t int) {
+	if !ep.granted(t) {
+		return
+	}
+	b := ep.recByTgt[t]
+	if len(b) == 0 {
+		return
+	}
+	delete(ep.recByTgt, t)
+	ep.recLive -= len(b)
+	for _, o := range b {
+		e.issue(o)
+	}
+}
+
+// issueReady issues, in program order, every recorded op whose target has
+// granted access. It runs in engine (CPU) context — and in the vanilla
+// closing synchronizations, which force-issue regardless of recording.
+func (e *Engine) issueReady(ep *Epoch) {
+	if ep.recLive == 0 {
+		ep.recorded = ep.recorded[:0]
+		return
+	}
+	kept := ep.recorded[:0]
+	for _, o := range ep.recorded {
+		if o.issued {
+			continue
+		}
+		if ep.granted(o.target) {
+			ep.popBucket(o)
+			ep.recLive--
+			e.issue(o)
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	ep.recorded = kept
+}
+
+// issue hands one op to the fabric. Issue order per target equals program
+// order, and the NIC's per-peer FIFO keeps done packets behind data.
+func (e *Engine) issue(o *rmaOp) {
+	ep := o.ep
+	o.issued = true
+	ep.pending[o.target]++
+	ep.pendingAll++
+	if o.target == e.rank.ID {
+		// Self communication: fulfilled through the loopback path below.
+		e.deliverSelf(o)
+		return
+	}
+	switch o.class {
+	case opPut:
+		e.post(o, fabric.KindPutData, o.size)
+	case opGet:
+		e.post(o, fabric.KindGetReq, ctrlBytes)
+	case opAcc:
+		if o.size > mpi.EagerThreshold {
+			// Large accumulates need a target-side intermediate buffer: a
+			// rendezvous whose CTS is processed by the origin CPU. This is
+			// what denies communication/computation overlapping to >8 KB
+			// accumulates in every implementation (Section VIII-A).
+			o.ctsWait = true
+			e.post(o, fabric.KindAccRTS, ctrlBytes)
+		} else {
+			e.post(o, fabric.KindAccData, o.size)
+		}
+	case opGetAcc:
+		e.post(o, fabric.KindGetAccReq, ctrlBytes+o.size)
+	case opCAS:
+		e.post(o, fabric.KindCASReq, ctrlBytes+2*o.size)
+	}
+}
+
+// ctrlBytes is the wire size charged for small protocol headers.
+const ctrlBytes = 32
+
+// post sends the packet carrying op o toward its target.
+func (e *Engine) post(o *rmaOp, kind fabric.Kind, wireSize int64) {
+	p := &fabric.Packet{
+		Src: e.rank.ID, Dst: o.target, Kind: kind, Size: wireSize,
+		Payload: &wireOp{op: o, eng: e},
+		Arg:     [4]int64{o.ep.win.id, 0, 0, regionKey(o.ep.win, o.target)},
+	}
+	if kind == fabric.KindPutData || kind == fabric.KindAccData {
+		op := o
+		p.OnTxDone = func() { e.opLocalDone(op) }
+	}
+	e.rank.Send(p)
+}
+
+// regionKey identifies the local memory region backing an op for the
+// registration-cache model. Registration (pinning) is a property of local
+// memory, so the key is the window — one pin covers transfers to any
+// number of targets.
+func regionKey(w *Window, _ int) int64 {
+	return w.id + 1
+}
+
+// opLocalDone marks local completion (origin buffer reusable) and settles
+// local flushes.
+func (e *Engine) opLocalDone(o *rmaOp) {
+	if o.localDone {
+		return
+	}
+	o.localDone = true
+	o.ep.win.settleFlushes(o, true)
+	e.rank.Wake.Fire()
+}
+
+// opDelivered marks remote completion: the transfer (and any response) is
+// fulfilled. It may post the target's done packet and complete the epoch.
+// Runs in NIC context (completion-queue processing).
+func (e *Engine) opDelivered(o *rmaOp) {
+	if o.remoteDone {
+		return
+	}
+	o.remoteDone = true
+	if !o.localDone {
+		e.opLocalDone(o)
+	}
+	ep := o.ep
+	ep.pending[o.target]--
+	ep.pendingAll--
+	if ep.pending[o.target] < 0 || ep.pendingAll < 0 {
+		panic("core: op completion accounting went negative")
+	}
+	ep.win.settleFlushes(o, false)
+	if o.req != nil {
+		o.req.Complete()
+	}
+	if ep.win.mode != ModeVanilla && ep.closedApp {
+		ep.maybePostDone(o.target)
+		ep.maybeComplete()
+	}
+	e.rank.Wake.Fire()
+}
+
+// maybePostDone posts the done/unlock packet for target t once every
+// completion condition for t holds: "completion notification packets are
+// sent to each target epoch as soon as the last RMA transfer meant for the
+// target is fulfilled" (Section VII-D). The NIC's per-peer ordering makes
+// the notification arrive after the epoch's data.
+func (ep *Epoch) maybePostDone(t int) {
+	if !ep.activated || !ep.closedApp || ep.donePosted[t] {
+		return
+	}
+	if ep.pending[t] > 0 || ep.recordedFor(t) > 0 {
+		return
+	}
+	switch ep.kind {
+	case EpochLock, EpochLockAll:
+		if !ep.granted(t) {
+			return // cannot release a lock that was never acquired
+		}
+		ep.donePosted[t] = true
+		ep.doneCount++
+		if !ep.noCheck {
+			ep.win.eng.sendUnlock(ep.win, t)
+		}
+	case EpochAccess, EpochFence:
+		if ep.usedTarget[t] && !ep.granted(t) {
+			return // data still owed to t; done must follow it
+		}
+		ep.donePosted[t] = true
+		ep.doneCount++
+		ep.win.eng.sendDone(ep.win, t, ep.accessID[t])
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Runtime owns the per-rank RMA engines of one job and wires them into the
+// fabric (NIC handlers) and into each rank's progress loop. Create exactly
+// one Runtime per mpi.World before launching rank bodies.
+type Runtime struct {
+	world   *mpi.World
+	engines []*Engine
+	tracer  *trace.Recorder
+}
+
+// NewRuntime attaches an RMA runtime to every rank of w.
+func NewRuntime(w *mpi.World) *Runtime {
+	rt := &Runtime{world: w, engines: make([]*Engine, w.Size())}
+	for i := 0; i < w.Size(); i++ {
+		rt.engines[i] = newEngine(rt, w.Rank(i))
+	}
+	return rt
+}
+
+// World returns the job this runtime serves.
+func (rt *Runtime) World() *mpi.World { return rt.world }
+
+// Engine returns rank i's RMA progress engine.
+func (rt *Runtime) Engine(i int) *Engine { return rt.engines[i] }
+
+// WinOptions configures window creation.
+type WinOptions struct {
+	Mode Mode
+	Info Info
+	// ShapeOnly windows model traffic timing without allocating or copying
+	// window memory; data-carrying operations are rejected on them.
+	ShapeOnly bool
+	// NoTriggeredOps disables grant-triggered (NIC-context) issuing of
+	// recorded transfers: issue then requires a CPU engine sweep, as in a
+	// software-only progress design. Exists for the ablation benchmarks;
+	// leave false for the paper's design.
+	NoTriggeredOps bool
+	// CheckConflicts verifies the Section VI-C disjointness guarantee:
+	// with reorder flags on, any two concurrently incomplete epochs that
+	// touch overlapping target ranges (at least one writing) abort the
+	// run. Debug aid; O(ops^2) per window.
+	CheckConflicts bool
+}
+
+// CreateWindow collectively creates an RMA window exposing size bytes of
+// local memory on every rank. All ranks of the job must call it in the same
+// order with the same options (as with MPI_WIN_CREATE); the call contains a
+// barrier.
+func (rt *Runtime) CreateWindow(r *mpi.Rank, size int64, opt WinOptions) *Window {
+	if size < 0 {
+		panic("core: negative window size")
+	}
+	eng := rt.engines[r.ID]
+	w := &Window{
+		rank:   r,
+		eng:    eng,
+		id:     eng.nextWinID,
+		mode:   opt.Mode,
+		info:   opt.Info,
+		n:      rt.world.Size(),
+		size:   size,
+		noTrig: opt.NoTriggeredOps,
+		chkCfl: opt.CheckConflicts,
+		peers:  make([]*peerCounters, rt.world.Size()),
+	}
+	eng.nextWinID++
+	if !opt.ShapeOnly {
+		w.buf = make([]byte, size)
+	}
+	for i := range w.peers {
+		w.peers[i] = &peerCounters{}
+	}
+	w.agent = newLockAgent(w)
+	eng.windows[w.id] = w
+	eng.winList = append(eng.winList, w)
+	r.Barrier()
+	return w
+}
+
+// window looks up a window by id on rank dst; used by packet handlers.
+func (rt *Runtime) window(dst int, id int64) *Window {
+	w := rt.engines[dst].windows[id]
+	if w == nil {
+		panic(fmt.Sprintf("core: rank %d has no window %d", dst, id))
+	}
+	return w
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+)
+
+// testWorld builds a small job with the default calibration.
+func testWorld(t *testing.T, n int) (*mpi.World, *Runtime) {
+	t.Helper()
+	w := mpi.NewWorld(n, fabric.DefaultConfig())
+	return w, NewRuntime(w)
+}
+
+// runJob runs body on every rank and fails the test on kernel errors.
+func runJob(t *testing.T, w *mpi.World, body func(r *mpi.Rank)) {
+	t.Helper()
+	if err := w.Run(body); err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+}
+
+func TestGATSPutBlocking(t *testing.T) {
+	for _, mode := range []Mode{ModeNew, ModeVanilla} {
+		w, rt := testWorld(t, 2)
+		payload := []byte("hello one-sided world")
+		var got []byte
+		runJob(t, w, func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 1024, WinOptions{Mode: mode})
+			if r.ID == 0 {
+				win.Start([]int{1})
+				win.Put(1, 64, payload, int64(len(payload)))
+				win.Complete()
+			} else {
+				win.Post([]int{0})
+				win.WaitEpoch()
+				got = append([]byte(nil), win.Bytes()[64:64+len(payload)]...)
+			}
+			win.Quiesce()
+		})
+		if string(got) != string(payload) {
+			t.Fatalf("mode %v: target saw %q, want %q", mode, got, payload)
+		}
+	}
+}
+
+func TestGATSNonblockingEpoch(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ok := false
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.IStart([]int{1})
+			win.Put(1, 0, payload, int64(len(payload)))
+			req := win.IComplete()
+			if req.Done() {
+				t.Error("IComplete request done before transfer could finish")
+			}
+			r.Wait(req)
+		} else {
+			win.IPost([]int{0})
+			req := win.IWait()
+			r.Wait(req)
+			ok = win.Bytes()[12345] == payload[12345]
+		}
+		win.Quiesce()
+	})
+	if !ok {
+		t.Fatal("target data mismatch after nonblocking epoch")
+	}
+}
+
+func TestFenceRounds(t *testing.T) {
+	for _, mode := range []Mode{ModeNew, ModeVanilla} {
+		w, rt := testWorld(t, 3)
+		vals := make([]int64, 3)
+		runJob(t, w, func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 8, WinOptions{Mode: mode})
+			win.Fence(AssertNone)
+			// Everyone accumulates its rank+1 into rank 0.
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, uint64(r.ID+1))
+			win.Accumulate(0, 0, OpSum, TInt64, buf, 8)
+			win.Fence(AssertNone)
+			if r.ID == 0 {
+				vals[0] = int64(binary.LittleEndian.Uint64(win.Bytes()))
+			}
+			win.Fence(AssertNoSucceed)
+			win.Quiesce()
+		})
+		if vals[0] != 6 {
+			t.Fatalf("mode %v: fence accumulate got %d, want 6", mode, vals[0])
+		}
+	}
+}
+
+func TestLockEpochs(t *testing.T) {
+	for _, mode := range []Mode{ModeNew, ModeVanilla} {
+		w, rt := testWorld(t, 3)
+		var final uint64
+		runJob(t, w, func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 8, WinOptions{Mode: mode})
+			if r.ID != 0 {
+				for i := 0; i < 5; i++ {
+					win.Lock(0, true)
+					buf := make([]byte, 8)
+					binary.LittleEndian.PutUint64(buf, 1)
+					win.Accumulate(0, 0, OpSum, TUint64, buf, 8)
+					win.Unlock(0)
+				}
+			}
+			r.Barrier()
+			if r.ID == 0 {
+				final = binary.LittleEndian.Uint64(win.Bytes())
+			}
+			win.Quiesce()
+		})
+		if final != 10 {
+			t.Fatalf("mode %v: lock accumulate got %d, want 10", mode, final)
+		}
+	}
+}
+
+func TestNonblockingLockPipeline(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	var final uint64
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew, Info: Info{AAAR: true}})
+		if r.ID == 1 {
+			var reqs []*mpi.Request
+			for i := 0; i < 8; i++ {
+				win.ILock(0, false)
+				buf := make([]byte, 8)
+				binary.LittleEndian.PutUint64(buf, 1)
+				win.Accumulate(0, 0, OpSum, TUint64, buf, 8)
+				reqs = append(reqs, win.IUnlock(0))
+			}
+			r.Wait(reqs...)
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			final = binary.LittleEndian.Uint64(win.Bytes())
+		}
+		win.Quiesce()
+	})
+	if final != 8 {
+		t.Fatalf("pipelined lock epochs got %d, want 8", final)
+	}
+}
+
+func TestGetAndAtomics(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	var fetched uint64
+	var casOld uint64
+	var gotByte byte
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			binary.LittleEndian.PutUint64(win.Bytes()[0:8], 41)
+			win.Bytes()[32] = 0xAB
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			win.Lock(0, false)
+			one := make([]byte, 8)
+			binary.LittleEndian.PutUint64(one, 1)
+			res := make([]byte, 8)
+			win.FetchAndOp(0, 0, OpSum, TUint64, one, res)
+			win.Flush(0)
+			fetched = binary.LittleEndian.Uint64(res)
+			cmp := make([]byte, 8)
+			binary.LittleEndian.PutUint64(cmp, 42)
+			swp := make([]byte, 8)
+			binary.LittleEndian.PutUint64(swp, 99)
+			old := make([]byte, 8)
+			win.CompareAndSwap(0, 0, TUint64, cmp, swp, old)
+			win.Flush(0)
+			casOld = binary.LittleEndian.Uint64(old)
+			b := make([]byte, 1)
+			win.Get(0, 32, b, 1)
+			win.Unlock(0)
+			gotByte = b[0]
+		}
+		r.Barrier()
+		win.Quiesce()
+	})
+	if fetched != 41 {
+		t.Errorf("FetchAndOp fetched %d, want 41", fetched)
+	}
+	if casOld != 42 {
+		t.Errorf("CAS old value %d, want 42", casOld)
+	}
+	if gotByte != 0xAB {
+		t.Errorf("Get byte %#x, want 0xAB", gotByte)
+	}
+}

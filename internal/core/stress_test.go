@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Randomized stress test: each rank runs a random program of lock-epoch
+// atomic updates, GATS rounds and fences, under every mode/flag
+// combination and node mapping. Correctness oracle: every accumulate adds
+// exactly 1, so after quiescence the cluster-wide sum must equal the total
+// number of updates issued, and the kernel must report no deadlock.
+func TestRandomizedStress(t *testing.T) {
+	type variant struct {
+		name string
+		mode Mode
+		info Info
+		nb   bool
+		ppn  int
+	}
+	variants := []variant{
+		{"vanilla", ModeVanilla, Info{}, false, 1},
+		{"new-blocking", ModeNew, Info{}, false, 1},
+		{"new-nonblocking", ModeNew, Info{}, true, 1},
+		{"new-nb-aaar", ModeNew, Info{AAAR: true}, true, 1},
+		{"new-nb-allflags", ModeNew, Info{AAAR: true, AAER: true, EAER: true, EAAR: true}, true, 1},
+		{"new-nb-aaar-intranode", ModeNew, Info{AAAR: true}, true, 4},
+		{"vanilla-intranode", ModeVanilla, Info{}, false, 4},
+	}
+	for _, v := range variants {
+		for seed := uint64(1); seed <= 3; seed++ {
+			v, seed := v, seed
+			t.Run(fmt.Sprintf("%s/seed%d", v.name, seed), func(t *testing.T) {
+				runStress(t, v.mode, v.info, v.nb, v.ppn, seed)
+			})
+		}
+	}
+}
+
+func runStress(t *testing.T, mode Mode, info Info, nonblocking bool, ppn int, seed uint64) {
+	t.Helper()
+	const n = 4
+	const updatesPerRank = 12
+	cfg := fabric.DefaultConfig()
+	cfg.ProcsPerNode = ppn
+	w := mpi.NewWorld(n, cfg)
+	rt := NewRuntime(w)
+	var grand int64
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: mode, Info: info})
+		rng := sim.NewRNG(seed*1000 + uint64(r.ID))
+		one := make([]byte, 8)
+		binary.LittleEndian.PutUint64(one, 1)
+		issued := 0
+		var pending []*mpi.Request
+		for issued < updatesPerRank {
+			switch rng.Intn(3) {
+			case 0: // lock epoch with 1-3 updates
+				tgt := rng.Intn(n)
+				excl := rng.Intn(2) == 0
+				k := rng.Intn(3) + 1
+				if issued+k > updatesPerRank {
+					k = updatesPerRank - issued
+				}
+				if mode == ModeNew && nonblocking {
+					win.ILock(tgt, excl)
+					for j := 0; j < k; j++ {
+						win.Accumulate(tgt, int64(rng.Intn(8))*8, OpSum, TUint64, one, 8)
+					}
+					pending = append(pending, win.IUnlock(tgt))
+				} else {
+					win.Lock(tgt, excl)
+					for j := 0; j < k; j++ {
+						win.Accumulate(tgt, int64(rng.Intn(8))*8, OpSum, TUint64, one, 8)
+					}
+					win.Unlock(tgt)
+				}
+				issued += k
+			case 1: // self update in a lock epoch
+				if mode == ModeNew && nonblocking {
+					win.ILock(r.ID, true)
+					win.Accumulate(r.ID, 0, OpSum, TUint64, one, 8)
+					pending = append(pending, win.IUnlock(r.ID))
+				} else {
+					win.Lock(r.ID, true)
+					win.Accumulate(r.ID, 0, OpSum, TUint64, one, 8)
+					win.Unlock(r.ID)
+				}
+				issued++
+			case 2: // small compute burst (creates timing diversity)
+				r.Compute(sim.Time(rng.Intn(50)) * sim.Microsecond)
+			}
+		}
+		r.Wait(pending...)
+		win.Quiesce()
+		r.Barrier()
+		var local int64
+		for i := 0; i < 8; i++ {
+			local += int64(binary.LittleEndian.Uint64(win.Bytes()[i*8:]))
+		}
+		total := r.AllreduceInt64(mpi.OpSum, local)
+		if r.ID == 0 {
+			grand = total
+		}
+	})
+	if err != nil {
+		t.Fatalf("stress run failed: %v", err)
+	}
+	want := int64(4 * updatesPerRank)
+	if grand != want {
+		t.Fatalf("lost or duplicated updates: sum=%d want=%d", grand, want)
+	}
+}
+
+// TestStressGATSRounds drives randomized GATS rounds: in each round a
+// random origin broadcasts a round-stamped byte to all others; receivers
+// verify the stamp.
+func TestStressGATSRounds(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		const n = 4
+		const rounds = 10
+		w := mpi.NewWorld(n, fabric.DefaultConfig())
+		rt := NewRuntime(w)
+		rng := sim.NewRNG(seed) // shared schedule, consulted identically by all ranks
+		origins := make([]int, rounds)
+		for i := range origins {
+			origins[i] = rng.Intn(n)
+		}
+		err := w.Run(func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 8, WinOptions{Mode: ModeNew})
+			for round := 0; round < rounds; round++ {
+				origin := origins[round]
+				if r.ID == origin {
+					win.Start(others(n, r.ID))
+					for _, tgt := range others(n, r.ID) {
+						win.Put(tgt, 0, []byte{byte(round + 1)}, 1)
+					}
+					win.Complete()
+				} else {
+					win.Post([]int{origin})
+					win.WaitEpoch()
+					if win.Bytes()[0] != byte(round+1) {
+						t.Errorf("seed %d round %d: rank %d saw stamp %d", seed, round, r.ID, win.Bytes()[0])
+					}
+				}
+			}
+			win.Quiesce()
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// others returns all ranks except me.
+func others(n, me int) []int {
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != me {
+			out = append(out, i)
+		}
+	}
+	return out
+}

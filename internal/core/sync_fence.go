@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/mpi"
+
+// FenceAssert carries the MPI_WIN_FENCE assertion hints.
+type FenceAssert int
+
+// Fence assertions. AssertNoSucceed tells the fence not to open a new
+// epoch (the last fence of a sequence); AssertNoPrecede asserts the fence
+// closes no RMA (a pure opening fence) and is accepted as a hint.
+const (
+	AssertNone      FenceAssert = 0
+	AssertNoPrecede FenceAssert = 1 << iota
+	AssertNoSucceed
+)
+
+// IFence is the nonblocking fence (Section V). It closes the currently
+// open fence epoch (if any) and opens a new one (unless AssertNoSucceed),
+// returning a request that completes when the closed epoch's barrier
+// semantics are fulfilled — i.e. when this rank's transfers are done and
+// every peer's completion notification has arrived. Per Section VI rule 5,
+// the new epoch is internally delayed until then, but the call itself
+// never blocks.
+func (w *Window) IFence(assert FenceAssert) *mpi.Request {
+	if w.mode == ModeVanilla {
+		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	var closeReq *mpi.Request
+	if w.curFence != nil {
+		ep := w.curFence
+		w.curFence = nil
+		closeReq = w.closeAccessEpoch(ep)
+	} else {
+		closeReq = mpi.NewCompletedRequest(w.rank)
+	}
+	if assert&AssertNoSucceed == 0 {
+		w.openFenceEpoch()
+	}
+	return closeReq
+}
+
+// Fence is the blocking MPI_WIN_FENCE.
+func (w *Window) Fence(assert FenceAssert) {
+	if w.mode == ModeVanilla {
+		w.vanillaFence(assert)
+		return
+	}
+	w.rank.Wait(w.IFence(assert))
+}
+
+// openFenceEpoch creates and enqueues a new fence epoch. Fence epochs play
+// both roles at once: they are access epochs toward every peer and
+// exposure epochs from every peer; closing one therefore entails barrier
+// semantics (completion needs all peers' done packets).
+func (w *Window) openFenceEpoch() *Epoch {
+	ep := newEpoch(w, EpochFence)
+	ep.openReq = mpi.NewCompletedRequest(w.rank)
+	w.curFence = ep
+	w.openAccess = append(w.openAccess, ep)
+	w.pushEpoch(ep)
+	return ep
+}

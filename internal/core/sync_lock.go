@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// lockWork is one queued intranode lock-agent action.
+type lockWork struct {
+	w       *Window
+	src     int
+	shared  bool
+	release bool
+}
+
+// lockAgent is the target-side passive-target lock manager of one window.
+// For internode requesters it runs in NIC context (modeling the
+// network-atomics-based lock designs the paper builds on), so a target that
+// never calls MPI still serves its locks; intranode requests arrive through
+// the notification FIFO and are served by the target's engine in step 6.
+//
+// Grant policy is strict FIFO with shared batching: the head of the queue
+// is granted when compatible with the current holders, and a granted shared
+// head pulls every consecutive shared requester behind it.
+type lockAgent struct {
+	w           *Window
+	exclHolder  int // rank holding the exclusive lock, or -1
+	sharedCount int
+	queue       []lockWaiter
+
+	// Grants counts lifetime grants (diagnostics/tests).
+	Grants int64
+}
+
+type lockWaiter struct {
+	origin int
+	shared bool
+}
+
+func newLockAgent(w *Window) *lockAgent {
+	return &lockAgent{w: w, exclHolder: -1}
+}
+
+// request enqueues a lock request from origin and advances the grant state.
+func (a *lockAgent) request(origin int, shared bool) {
+	a.queue = append(a.queue, lockWaiter{origin: origin, shared: shared})
+	a.advance()
+}
+
+// unlock releases origin's hold and advances the grant state.
+func (a *lockAgent) unlock(origin int) {
+	switch {
+	case a.exclHolder == origin:
+		a.exclHolder = -1
+	case a.sharedCount > 0:
+		a.sharedCount--
+	default:
+		panic(fmt.Sprintf("core: rank %d unlocked window %d on rank %d without holding it",
+			origin, a.w.id, a.w.rank.ID))
+	}
+	a.advance()
+}
+
+// advance grants as many queued requests as the current state allows.
+func (a *lockAgent) advance() {
+	for len(a.queue) > 0 {
+		h := a.queue[0]
+		if h.shared {
+			if a.exclHolder != -1 {
+				return
+			}
+			a.sharedCount++
+		} else {
+			if a.exclHolder != -1 || a.sharedCount > 0 {
+				return
+			}
+			a.exclHolder = h.origin
+		}
+		a.queue = a.queue[1:]
+		a.Grants++
+		a.w.emitArrival(traceLockGrant, h.origin, 0)
+		// Granting a lock updates e locally and g remotely, exactly like
+		// opening an exposure (Section VII-B).
+		id := a.w.peers[h.origin].nextExposureID()
+		a.w.eng.sendGrant(a.w, h.origin, id)
+	}
+}
+
+// holders reports the current holder state (for tests/invariants).
+func (a *lockAgent) holders() (excl int, shared int, queued int) {
+	return a.exclHolder, a.sharedCount, len(a.queue)
+}
+
+// --- Application API: passive-target synchronization ------------------- //
+
+// ILock opens, nonblockingly, a passive-target epoch on target's window
+// memory. exclusive selects MPI_LOCK_EXCLUSIVE semantics. The returned
+// request is pre-completed (epoch-opening routines always exit immediately,
+// Section VII-C); the lock acquisition itself proceeds inside the progress
+// engine.
+func (w *Window) ILock(target int, exclusive bool) *mpi.Request {
+	return w.ILockAssert(target, exclusive, false)
+}
+
+// ILockAssert is ILock with the MPI_MODE_NOCHECK assertion: when noCheck
+// is true the caller guarantees no conflicting lock exists or will be
+// requested while this epoch holds the lock, so the implementation skips
+// the lock-acquisition protocol entirely — transfers may start at once
+// and no unlock packet is sent.
+func (w *Window) ILockAssert(target int, exclusive, noCheck bool) *mpi.Request {
+	if w.mode == ModeVanilla {
+		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	ep := newEpoch(w, EpochLock)
+	ep.shared = !exclusive
+	ep.noCheck = noCheck
+	ep.setTargets([]int{target})
+	ep.openReq = mpi.NewCompletedRequest(w.rank)
+	w.openAccess = append(w.openAccess, ep)
+	w.pushEpoch(ep)
+	return ep.openReq
+}
+
+// Lock is the blocking form of ILock. Unlike MVAPICH's lazy design, the new
+// stack requests the lock right away, enabling in-epoch overlapping.
+func (w *Window) Lock(target int, exclusive bool) {
+	if w.mode == ModeVanilla {
+		w.vanillaLock(target, exclusive)
+		return
+	}
+	w.rank.Wait(w.ILock(target, exclusive))
+}
+
+// IUnlock closes the passive-target epoch toward target nonblockingly: it
+// returns at once, and the epoch (lock release included) completes inside
+// the progress engine; completion is detected through the returned request.
+func (w *Window) IUnlock(target int) *mpi.Request {
+	if w.mode == ModeVanilla {
+		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	ep := w.findOpenLock(target, EpochLock)
+	return w.closeAccessEpoch(ep)
+}
+
+// Unlock is the blocking form of IUnlock.
+func (w *Window) Unlock(target int) {
+	if w.mode == ModeVanilla {
+		w.vanillaUnlock(target)
+		return
+	}
+	w.rank.Wait(w.IUnlock(target))
+}
+
+// ILockAll opens a shared lock on every rank of the window, nonblockingly.
+func (w *Window) ILockAll() *mpi.Request {
+	if w.mode == ModeVanilla {
+		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	ep := newEpoch(w, EpochLockAll)
+	ep.shared = true
+	ep.openReq = mpi.NewCompletedRequest(w.rank)
+	w.openAccess = append(w.openAccess, ep)
+	w.pushEpoch(ep)
+	return ep.openReq
+}
+
+// LockAll is the blocking form of ILockAll.
+func (w *Window) LockAll() {
+	if w.mode == ModeVanilla {
+		w.vanillaLockAll()
+		return
+	}
+	w.rank.Wait(w.ILockAll())
+}
+
+// IUnlockAll closes the lock-all epoch nonblockingly.
+func (w *Window) IUnlockAll() *mpi.Request {
+	if w.mode == ModeVanilla {
+		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	ep := w.findOpenLock(-1, EpochLockAll)
+	return w.closeAccessEpoch(ep)
+}
+
+// UnlockAll is the blocking form of IUnlockAll.
+func (w *Window) UnlockAll() {
+	if w.mode == ModeVanilla {
+		w.vanillaUnlockAll()
+		return
+	}
+	w.rank.Wait(w.IUnlockAll())
+}
+
+// findOpenLock locates the newest application-open lock epoch of the given
+// kind (and target, for single-target locks).
+func (w *Window) findOpenLock(target int, kind EpochKind) *Epoch {
+	for i := len(w.openAccess) - 1; i >= 0; i-- {
+		ep := w.openAccess[i]
+		if ep.kind != kind {
+			continue
+		}
+		if kind == EpochLockAll || ep.targets[0] == target {
+			return ep
+		}
+	}
+	panic(fmt.Sprintf("core: rank %d has no open %s epoch toward %d", w.rank.ID, kind, target))
+}
+
+// closeAccessEpoch implements the common nonblocking close of access-role
+// epochs: attach the closing request, mark the epoch application-closed,
+// and let the engine fulfil the rest.
+func (w *Window) closeAccessEpoch(ep *Epoch) *mpi.Request {
+	w.rank.ChargeCall()
+	if ep.closedApp {
+		panic("core: epoch closed twice")
+	}
+	ep.closedApp = true
+	w.emitEpoch(traceClose, ep)
+	ep.closeReq = mpi.NewRequest(w.rank)
+	w.removeOpenAccess(ep)
+	if ep.activated {
+		for _, t := range ep.doneTargets() {
+			ep.maybePostDone(t)
+		}
+		ep.maybeComplete()
+	}
+	return ep.closeReq
+}
+
+// LockAssert is the blocking form of ILockAssert.
+func (w *Window) LockAssert(target int, exclusive, noCheck bool) {
+	w.rank.Wait(w.ILockAssert(target, exclusive, noCheck))
+}

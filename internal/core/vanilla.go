@@ -1,0 +1,190 @@
+package core
+
+// Vanilla mode reproduces the MVAPICH 2-1.9 behaviour the paper evaluates
+// against (Section VIII):
+//
+//   - lazy passive-target locks: "the locking attempt, and consequently
+//     the whole epoch, is not internally fulfilled until MPI_WIN_UNLOCK is
+//     invoked at the application level" — hence no in-epoch overlapping,
+//     but also immunity to Late Unlock;
+//   - deferred transfers everywhere: "after it reaches its epoch-closing
+//     routine, MVAPICH waits for all internode targets to be ready before
+//     issuing communication to any internode target";
+//   - blocking synchronizations only.
+
+// vanillaActivate registers and activates an epoch outside the deferred
+// queue machinery (vanilla has no deferral: one epoch at a time).
+func (w *Window) vanillaActivate(ep *Epoch) {
+	w.emitEpoch(traceOpen, ep)
+	w.epochs = append(w.epochs, ep)
+	w.activate(ep)
+}
+
+// vanillaStart opens a GATS access epoch; ids are assigned immediately but
+// transfers stay recorded until Complete.
+func (w *Window) vanillaStart(group []int) {
+	w.rank.ChargeCall()
+	ep := newEpoch(w, EpochAccess)
+	ep.setTargets(append([]int(nil), group...))
+	w.openAccess = append(w.openAccess, ep)
+	w.vanillaActivate(ep)
+}
+
+// vanillaComplete is the MVAPICH-style closing synchronization: wait for
+// every target's post, then issue everything, wait for the data, notify.
+func (w *Window) vanillaComplete() {
+	w.rank.ChargeCall()
+	ep := w.findOpenGATSAccess()
+	w.emitEpoch(traceClose, ep)
+	w.removeOpenAccess(ep)
+	w.vanillaDrain(ep, ep.targets)
+}
+
+// vanillaDrain runs the common blocking close sequence over the given
+// access targets.
+func (w *Window) vanillaDrain(ep *Epoch, targets []int) {
+	r := w.rank
+	r.WaitUntil("vanilla-grants", func() bool {
+		for _, t := range targets {
+			if !ep.granted(t) {
+				return false
+			}
+		}
+		return true
+	})
+	w.eng.issueReady(ep)
+	r.WaitUntil("vanilla-data", func() bool {
+		return ep.pendingAll == 0 && len(ep.recorded) == 0
+	})
+	ep.closedApp = true
+	for _, t := range targets {
+		ep.maybePostDone(t)
+	}
+	ep.maybeComplete()
+}
+
+// vanillaPost opens an exposure epoch (post notifications go out at once,
+// as in every modern MPI library).
+func (w *Window) vanillaPost(group []int) {
+	w.rank.ChargeCall()
+	ep := newEpoch(w, EpochExposure)
+	ep.origins = append([]int(nil), group...)
+	w.openExposure = append(w.openExposure, ep)
+	w.vanillaActivate(ep)
+}
+
+// vanillaWaitEpoch blocks until every origin's done packet has arrived.
+func (w *Window) vanillaWaitEpoch() {
+	w.rank.ChargeCall()
+	ep := w.takeOldestExposure()
+	w.emitEpoch(traceClose, ep)
+	ep.closedApp = true
+	w.rank.WaitUntil("vanilla-wait", func() bool { return ep.exposureSideDone() })
+	ep.maybeComplete()
+}
+
+// vanillaFence closes the open fence epoch with the staged blocking
+// sequence (all-ready, issue, drain, notify, collect) and opens the next
+// round unless AssertNoSucceed.
+func (w *Window) vanillaFence(assert FenceAssert) {
+	w.rank.ChargeCall()
+	if w.curFence != nil {
+		ep := w.curFence
+		w.curFence = nil
+		w.emitEpoch(traceClose, ep)
+		w.removeOpenAccess(ep)
+		all := ep.accessTargets()
+		w.vanillaDrain(ep, all)
+		// Barrier semantics: wait for every peer's done packet.
+		w.rank.WaitUntil("vanilla-fence-barrier", func() bool { return ep.exposureSideDone() })
+		ep.maybeComplete()
+	}
+	if assert&AssertNoSucceed == 0 {
+		ep := newEpoch(w, EpochFence)
+		w.curFence = ep
+		w.openAccess = append(w.openAccess, ep)
+		w.vanillaActivate(ep)
+	}
+}
+
+// vanillaLock opens a lazy lock epoch: nothing is sent yet.
+func (w *Window) vanillaLock(target int, exclusive bool) {
+	w.rank.ChargeCall()
+	ep := newEpoch(w, EpochLock)
+	ep.shared = !exclusive
+	ep.setTargets([]int{target})
+	w.emitEpoch(traceOpen, ep)
+	w.openAccess = append(w.openAccess, ep)
+	w.epochs = append(w.epochs, ep)
+}
+
+// vanillaUnlock fulfils the whole lazy lock epoch: request the lock, wait
+// for the grant, issue the recorded transfers, drain them, release.
+func (w *Window) vanillaUnlock(target int) {
+	w.rank.ChargeCall()
+	ep := w.findOpenLock(target, EpochLock)
+	w.emitEpoch(traceClose, ep)
+	w.removeOpenAccess(ep)
+	w.vanillaLockActivate(ep)
+	w.vanillaDrain(ep, ep.targets)
+}
+
+// vanillaLockActivate lazily activates a lock(-all) epoch if needed.
+func (w *Window) vanillaLockActivate(ep *Epoch) {
+	if ep.activated {
+		return
+	}
+	ep.activated = true
+	w.emitEpoch(traceActivate, ep)
+	targets := ep.accessTargets()
+	ep.ensureAccessMaps(len(targets))
+	for _, t := range targets {
+		ep.accessID[t] = w.peers[t].nextAccessID()
+		w.eng.sendLockReq(w, t, ep.shared)
+	}
+}
+
+// vanillaLockAll opens a lazy shared lock on every rank.
+func (w *Window) vanillaLockAll() {
+	w.rank.ChargeCall()
+	ep := newEpoch(w, EpochLockAll)
+	ep.shared = true
+	w.emitEpoch(traceOpen, ep)
+	w.openAccess = append(w.openAccess, ep)
+	w.epochs = append(w.epochs, ep)
+}
+
+// vanillaUnlockAll fulfils the lazy lock-all epoch.
+func (w *Window) vanillaUnlockAll() {
+	w.rank.ChargeCall()
+	ep := w.findOpenLock(-1, EpochLockAll)
+	w.emitEpoch(traceClose, ep)
+	w.removeOpenAccess(ep)
+	w.vanillaLockActivate(ep)
+	w.vanillaDrain(ep, ep.accessTargets())
+}
+
+// vanillaForceIssue pushes a lazy passive epoch far enough for a blocking
+// flush: acquire the lock(s) and issue what is recorded toward target
+// (target == -1 means every target).
+func (w *Window) vanillaForceIssue(target int) {
+	for _, ep := range w.openAccess {
+		if ep.kind != EpochLock && ep.kind != EpochLockAll {
+			continue
+		}
+		if target != -1 && !ep.coversTarget(target) {
+			continue
+		}
+		w.vanillaLockActivate(ep)
+		epoch := ep
+		w.rank.WaitUntil("vanilla-flush-grants", func() bool {
+			for _, t := range epoch.accessTargets() {
+				if !epoch.granted(t) {
+					return false
+				}
+			}
+			return true
+		})
+		w.eng.issueReady(ep)
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Window is one rank's view of a collectively created RMA window: the
+// exposed local memory region plus all epoch-matching and epoch-queue state.
+type Window struct {
+	rank *mpi.Rank
+	eng  *Engine
+	id   int64
+	mode Mode
+	info Info
+	n    int
+	size int64
+	buf  []byte // nil for shape-only windows
+
+	// ω-triples + done counters, one per peer (O(1) matching state).
+	peers []*peerCounters
+
+	// Epoch bookkeeping.
+	nextEpochSeq int64
+	epochs       []*Epoch // not-yet-completed epochs, program order
+	openAccess   []*Epoch // application-open access-role epochs (oldest first)
+	openExposure []*Epoch // application-open exposure epochs (oldest first)
+	curFence     *Epoch   // application-open fence epoch, if any
+
+	// Passive-target lock agent (target side; runs in NIC context for
+	// internode requesters, engine context for intranode ones).
+	agent *lockAgent
+
+	// Flush support: monotonic op ages, the set of not-yet-remotely-
+	// complete ops, and outstanding flush requests.
+	opAge   int64
+	liveOps map[*rmaOp]struct{}
+	flushes []*flushReq
+
+	// dirty asks the engine for an activation/completion scan.
+	dirty bool
+
+	// noTrig disables grant-triggered NIC-context issuing (ablation).
+	noTrig bool
+
+	// chkCfl enables the Section VI-C disjointness conflict checker.
+	chkCfl bool
+
+	// stats and lifecycle.
+	stats WindowStats
+	freed bool
+}
+
+// Rank returns the owning rank.
+func (w *Window) Rank() *mpi.Rank { return w.rank }
+
+// Mode returns the window's implementation mode.
+func (w *Window) Mode() Mode { return w.mode }
+
+// Size returns the exposed region size in bytes.
+func (w *Window) Size() int64 { return w.size }
+
+// Bytes returns the local exposed memory. It is nil for shape-only windows.
+func (w *Window) Bytes() []byte { return w.buf }
+
+// checkRange validates a remote access range against the window size.
+func (w *Window) checkRange(target int, off, size int64) {
+	if target < 0 || target >= w.n {
+		panic(fmt.Sprintf("core: RMA target %d out of range (n=%d)", target, w.n))
+	}
+	if off < 0 || size < 0 || off+size > w.size {
+		panic(fmt.Sprintf("core: RMA range [%d,%d) exceeds window size %d", off, off+size, w.size))
+	}
+}
+
+// currentAccessEpoch returns the newest application-open access epoch
+// covering target t; RMA communication calls must happen inside one.
+func (w *Window) currentAccessEpoch(t int) *Epoch {
+	for i := len(w.openAccess) - 1; i >= 0; i-- {
+		if w.openAccess[i].coversTarget(t) {
+			return w.openAccess[i]
+		}
+	}
+	panic(fmt.Sprintf("core: rank %d issued an RMA operation to %d outside any access epoch", w.rank.ID, t))
+}
+
+// removeOpenAccess unlinks an application-closed access epoch.
+func (w *Window) removeOpenAccess(ep *Epoch) {
+	for i, e := range w.openAccess {
+		if e == ep {
+			w.openAccess = append(w.openAccess[:i], w.openAccess[i+1:]...)
+			return
+		}
+	}
+	panic("core: closing an access epoch that is not open")
+}
+
+// pushEpoch registers a newly opened epoch with the deferred-epoch queue
+// and triggers an activation scan (the epoch may activate immediately).
+func (w *Window) pushEpoch(ep *Epoch) {
+	w.checkLive()
+	w.rank.ChargeCall()
+	w.emitEpoch(traceOpen, ep)
+	w.epochs = append(w.epochs, ep)
+	w.dirty = true
+	w.scanActivate()
+}
+
+// onGrant reacts to a grant (exposure/lock) notification from peer src.
+// Recorded transfers of already-activated epochs are issued right here, in
+// NIC context: the origin posted their descriptors while it had the CPU
+// (the RMA call itself), and the NIC fires them when the grant lands —
+// triggered-operation semantics, which is what gives the paper's design
+// full communication/computation overlapping inside lock and GATS epochs
+// even while the application computes. Deferred (not yet activated) epochs
+// still wait for the CPU-side engine scan.
+func (w *Window) onGrant(src int) {
+	if w.mode != ModeVanilla && !w.noTrig {
+		for _, ep := range w.epochs {
+			if !ep.activated || !ep.coversTarget(src) {
+				continue
+			}
+			w.eng.issueBucket(ep, src)
+			if ep.closedApp {
+				ep.maybePostDone(src)
+				ep.maybeComplete()
+			}
+		}
+	}
+	w.dirty = true
+	w.rank.Wake.Fire()
+}
+
+// onDoneRecv reacts to a done packet from origin src: exposure-role epochs
+// may now satisfy their completion conditions.
+func (w *Window) onDoneRecv(src int) {
+	for _, ep := range w.epochs {
+		if ep.kind.isExposureRole() {
+			ep.maybeComplete()
+		}
+	}
+	w.dirty = true
+	w.rank.Wake.Fire()
+}
+
+// pruneCompleted drops completed epochs from the pending queue.
+func (w *Window) pruneCompleted() {
+	out := w.epochs[:0]
+	for _, ep := range w.epochs {
+		if !ep.completed {
+			out = append(out, ep)
+		}
+	}
+	w.epochs = out
+}
+
+// canReorder implements the Section VI-B activation predicate between a
+// still-active predecessor prev and a candidate next.
+func (w *Window) canReorder(prev, next *Epoch) bool {
+	if prev.kind.reorderExcluded() || next.kind.reorderExcluded() {
+		return false
+	}
+	prevAccess := prev.kind.isAccessRole()
+	nextAccess := next.kind.isAccessRole()
+	switch {
+	case nextAccess && prevAccess:
+		return w.info.AAAR
+	case nextAccess && !prevAccess:
+		return w.info.AAER
+	case !nextAccess && !prevAccess:
+		return w.info.EAER
+	default: // next exposure after prev access
+		return w.info.EAAR
+	}
+}
+
+// scanActivate is the progress-engine activation pass (Section VII-A):
+// "Every time an active epoch is completed internally, the progress engine
+// scans the existing deferred epochs of the same RMA window and activates
+// in sequence all those that do not violate any rule. The scan stops when
+// the first deferred epoch is encountered that fails activation
+// conditions." Vanilla-mode windows activate at open and never defer.
+func (w *Window) scanActivate() {
+	w.pruneCompleted()
+	if w.mode == ModeVanilla {
+		return
+	}
+	for i, ep := range w.epochs {
+		if ep.activated {
+			continue
+		}
+		ok := true
+		for _, prev := range w.epochs[:i] {
+			// prev is pending (not completed); it may or may not be active.
+			if !w.canReorder(prev, ep) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break // serial activation: never skip an epoch
+		}
+		w.activate(ep)
+	}
+}
+
+// activate performs the kind-specific internal activation of an epoch and
+// replays its recorded application-level events ("a deferred epoch is
+// replayed internally up to its last recorded application-level event").
+func (w *Window) activate(ep *Epoch) {
+	ep.activated = true
+	w.emitEpoch(traceActivate, ep)
+	switch ep.kind {
+	case EpochAccess:
+		ep.ensureAccessMaps(len(ep.targets))
+		for _, t := range ep.targets {
+			ep.accessID[t] = w.peers[t].nextAccessID()
+		}
+	case EpochExposure:
+		ep.ensureExposeMap(len(ep.origins))
+		for _, o := range ep.origins {
+			w.grantTo(ep, o)
+		}
+	case EpochFence:
+		ep.ensureAccessMaps(w.n)
+		ep.ensureExposeMap(w.n)
+		for t := 0; t < w.n; t++ {
+			ep.accessID[t] = w.peers[t].nextAccessID()
+		}
+		for o := 0; o < w.n; o++ {
+			w.grantTo(ep, o)
+		}
+	case EpochLock:
+		t := ep.targets[0]
+		ep.ensureAccessMaps(1)
+		if ep.noCheck {
+			// NOCHECK: no matching, no request — the caller vouches.
+			break
+		}
+		ep.accessID[t] = w.peers[t].nextAccessID()
+		w.eng.sendLockReq(w, t, ep.shared)
+	case EpochLockAll:
+		ep.ensureAccessMaps(w.n)
+		for t := 0; t < w.n; t++ {
+			ep.accessID[t] = w.peers[t].nextAccessID()
+			w.eng.sendLockReq(w, t, true)
+		}
+	}
+	// Replay recorded communication that is already issuable, and if the
+	// epoch was closed while deferred, replay the close too.
+	w.eng.issueReady(ep)
+	if ep.closedApp {
+		for _, t := range ep.doneTargets() {
+			ep.maybePostDone(t)
+		}
+		ep.maybeComplete()
+	}
+}
+
+// grantTo assigns the per-origin exposure id and sends the one-sided grant
+// notification (remote g-counter update) to origin o.
+func (w *Window) grantTo(ep *Epoch, o int) {
+	id := w.peers[o].nextExposureID()
+	ep.exposeID[o] = id
+	w.eng.sendGrant(w, o, id)
+}
+
+// Quiesce blocks until every epoch of this window has completed internally.
+// Useful before tearing a benchmark down; it plays the role of the final
+// MPI_WIN_FREE synchronization.
+func (w *Window) Quiesce() {
+	w.rank.WaitUntil("win-quiesce", func() bool {
+		w.pruneCompleted()
+		return len(w.epochs) == 0
+	})
+}

@@ -1,0 +1,47 @@
+package core
+
+import "fmt"
+
+// WindowStats aggregates a window's lifetime activity; useful for
+// application-level reporting and for the benchmark harness.
+type WindowStats struct {
+	EpochsOpened    int64
+	EpochsCompleted int64
+	OpsIssued       int64
+	BytesOut        int64 // payload bytes of outbound puts/accumulates
+	LockGrants      int64 // grants served by the local lock agent
+}
+
+// Stats returns a snapshot of the window's counters.
+func (w *Window) Stats() WindowStats {
+	s := w.stats
+	s.LockGrants = w.agent.Grants
+	return s
+}
+
+// Free collectively tears the window down: it waits for every local epoch
+// to complete, synchronizes all ranks, and detaches the window from the
+// engine. Using a freed window panics. Mirrors MPI_WIN_FREE's "all RMA on
+// the window must be complete" requirement.
+func (w *Window) Free() {
+	if w.freed {
+		panic(fmt.Sprintf("core: window %d freed twice on rank %d", w.id, w.rank.ID))
+	}
+	w.Quiesce()
+	w.rank.Barrier()
+	w.freed = true
+	delete(w.eng.windows, w.id)
+	for i, x := range w.eng.winList {
+		if x == w {
+			w.eng.winList = append(w.eng.winList[:i], w.eng.winList[i+1:]...)
+			break
+		}
+	}
+}
+
+// checkLive panics when the window has been freed.
+func (w *Window) checkLive() {
+	if w.freed {
+		panic(fmt.Sprintf("core: rank %d used window %d after Free", w.rank.ID, w.id))
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// wireOp is the payload of data-path packets: a handle back to the origin's
+// op so the target-side NIC handler can fulfil the transfer and signal
+// origin-side completion (the simulation's completion-queue event).
+type wireOp struct {
+	op   *rmaOp
+	eng  *Engine // origin engine
+	resp []byte  // fetched value carried by the response leg
+}
+
+// applyPut writes data into the window memory (no-op on shape-only
+// windows, where only timing is modeled).
+func (w *Window) applyPut(off int64, data []byte, size int64) {
+	if w.buf == nil || data == nil {
+		return
+	}
+	copy(w.buf[off:off+size], data[:size])
+}
+
+// snapshot returns a copy of the window region (nil on shape-only windows).
+func (w *Window) snapshot(off, size int64) []byte {
+	if w.buf == nil {
+		return nil
+	}
+	out := make([]byte, size)
+	copy(out, w.buf[off:off+size])
+	return out
+}
+
+// applyAcc combines operand data into the window region element-wise.
+// Element-wise atomicity is guaranteed by construction: the simulation
+// applies each accumulate in a single kernel event.
+func (w *Window) applyAcc(off int64, data []byte, size int64, op AccOp, dt DType) {
+	if w.buf == nil {
+		return
+	}
+	if op == OpNoOp {
+		return
+	}
+	es := int64(dt.Size())
+	for i := int64(0); i < size; i += es {
+		dst := w.buf[off+i : off+i+es]
+		var src []byte
+		if data != nil {
+			src = data[i : i+es]
+		}
+		combine(dst, src, op, dt)
+	}
+}
+
+// combine applies dst = dst (op) src for one element. A nil src acts as the
+// operator's identity (shape-only traffic).
+func combine(dst, src []byte, op AccOp, dt DType) {
+	if src == nil {
+		return
+	}
+	if op == OpReplace {
+		copy(dst, src)
+		return
+	}
+	switch dt {
+	case TByte:
+		dst[0] = combineU64(uint64(dst[0]), uint64(src[0]), op, dt).(byte)
+	case TInt64, TUint64:
+		a := binary.LittleEndian.Uint64(dst)
+		b := binary.LittleEndian.Uint64(src)
+		binary.LittleEndian.PutUint64(dst, combineU64(a, b, op, dt).(uint64))
+	case TFloat64:
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		var r float64
+		switch op {
+		case OpSum:
+			r = a + b
+		case OpProd:
+			r = a * b
+		case OpMax:
+			r = math.Max(a, b)
+		case OpMin:
+			r = math.Min(a, b)
+		default:
+			panic(fmt.Sprintf("core: operator %d not defined for float64", op))
+		}
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(r))
+	}
+}
+
+// combineU64 implements the integer operators; for TInt64 the ordered
+// operators compare as signed values.
+func combineU64(a, b uint64, op AccOp, dt DType) interface{} {
+	signed := dt == TInt64
+	less := func(x, y uint64) bool {
+		if signed {
+			return int64(x) < int64(y)
+		}
+		return x < y
+	}
+	var r uint64
+	switch op {
+	case OpSum:
+		r = a + b
+	case OpProd:
+		r = a * b
+	case OpMax:
+		if less(a, b) {
+			r = b
+		} else {
+			r = a
+		}
+	case OpMin:
+		if less(b, a) {
+			r = b
+		} else {
+			r = a
+		}
+	case OpBand:
+		r = a & b
+	case OpBor:
+		r = a | b
+	case OpBxor:
+		r = a ^ b
+	default:
+		panic(fmt.Sprintf("core: unsupported integer operator %d", op))
+	}
+	if dt == TByte {
+		return byte(r)
+	}
+	return r
+}
+
+// bytesEqual reports element equality for CompareAndSwap.
+func bytesEqual(a, b []byte) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+// Package fabric models the cluster interconnect: per-rank NICs with a
+// serial injection pipeline, credit-based flow control, an
+// alpha + size/bandwidth latency model, intranode wait-free 64-bit FIFOs
+// and a registration-cache cost model.
+//
+// The fabric is the stand-in for the paper's 310-node ConnectX QDR
+// InfiniBand cluster. Its defining property — shared with RDMA hardware —
+// is that packet delivery mutates receiver-side state in kernel (event)
+// context, without any receiver CPU involvement: upper layers register a
+// delivery handler that plays the role of NIC/HCA processing.
+package fabric
+
+import "repro/internal/sim"
+
+// Config describes the performance characteristics of the interconnect.
+type Config struct {
+	// ProcsPerNode maps ranks onto nodes: ranks r with equal r/ProcsPerNode
+	// share a node. 1 means every rank is alone on its node (all traffic is
+	// internode).
+	ProcsPerNode int
+
+	// Alpha is the internode base (propagation + handshake) latency applied
+	// to every packet regardless of size.
+	Alpha sim.Time
+
+	// BytesPerUs is the internode injection bandwidth in bytes per
+	// microsecond of virtual time. The wire occupancy of a packet of s
+	// bytes is s/BytesPerUs microseconds.
+	BytesPerUs float64
+
+	// AlphaIntra and BytesPerUsIntra are the intranode (shared-memory)
+	// equivalents.
+	AlphaIntra      sim.Time
+	BytesPerUsIntra float64
+
+	// CreditsPerPeer is the number of outstanding unacknowledged packets a
+	// NIC may have in flight toward one peer before it must stall (flow
+	// control). 0 disables flow control.
+	CreditsPerPeer int
+
+	// AckLatency is the extra delay after delivery before the sender's
+	// credit is returned (hardware ACK propagation).
+	AckLatency sim.Time
+
+	// FifoCapacity is the capacity, in 64-bit packets, of each direction of
+	// the intranode notification FIFO between two ranks.
+	FifoCapacity int
+
+	// RegCacheEntries is the capacity of each rank's memory-registration
+	// cache; RegMissCost is the pinning cost charged when a transfer uses a
+	// buffer absent from the cache. 0 entries disables the model.
+	RegCacheEntries int
+	RegMissCost     sim.Time
+
+	// CallOverhead is the CPU cost charged for entering an MPI call
+	// (argument checking, handle translation, a progress-engine poke).
+	// It is what separates "New" from "New nonblocking" when epochs are
+	// issued back to back: blocking code pays it serially between
+	// completion waits, nonblocking code pays it up front, overlapped.
+	CallOverhead sim.Time
+}
+
+// DefaultConfig returns the calibration used throughout the benchmark
+// harness: small-packet latency 2 us and an injection bandwidth that makes
+// a 1 MB put cost about 340 us end to end, matching the numbers reported in
+// the paper's evaluation (Section VIII: "any epoch hosting an MPI_PUT of
+// 1 MB takes about 340 us").
+func DefaultConfig() Config {
+	return Config{
+		ProcsPerNode:    1,
+		Alpha:           2 * sim.Microsecond,
+		BytesPerUs:      3100, // ~3.1 GB/s => 1 MiB wire time ~338 us
+		AlphaIntra:      500 * sim.Nanosecond,
+		BytesPerUsIntra: 12000, // ~12 GB/s shared-memory copy
+		CreditsPerPeer:  64,
+		AckLatency:      2 * sim.Microsecond,
+		FifoCapacity:    256,
+		RegCacheEntries: 64,
+		RegMissCost:     5 * sim.Microsecond,
+		CallOverhead:    400 * sim.Nanosecond,
+	}
+}
+
+// NodeOf returns the node index hosting rank r.
+func (c Config) NodeOf(r int) int {
+	ppn := c.ProcsPerNode
+	if ppn <= 0 {
+		ppn = 1
+	}
+	return r / ppn
+}
+
+// SameNode reports whether ranks a and b share a node.
+func (c Config) SameNode(a, b int) bool { return c.NodeOf(a) == c.NodeOf(b) }
+
+// WireTime returns how long a packet of size bytes occupies the injection
+// pipeline on the internode path.
+func (c Config) WireTime(size int64) sim.Time {
+	if size <= 0 || c.BytesPerUs <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / c.BytesPerUs * float64(sim.Microsecond))
+}
+
+// IntraCopyTime returns the CPU time needed to move size bytes across the
+// intranode shared-memory path.
+func (c Config) IntraCopyTime(size int64) sim.Time {
+	if size <= 0 || c.BytesPerUsIntra <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / c.BytesPerUsIntra * float64(sim.Microsecond))
+}
+
+// Latency returns the full internode transfer latency of one isolated
+// packet of size bytes (wire occupancy plus base latency).
+func (c Config) Latency(size int64) sim.Time {
+	return c.Alpha + c.WireTime(size)
+}

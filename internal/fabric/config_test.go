@@ -1,0 +1,66 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestWireTimeZeroAndNegative(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.WireTime(0) != 0 || cfg.WireTime(-5) != 0 {
+		t.Fatal("non-positive sizes must cost no wire time")
+	}
+	cfg.BytesPerUs = 0
+	if cfg.WireTime(100) != 0 {
+		t.Fatal("zero bandwidth disables the size term")
+	}
+}
+
+func TestIntraCopyTime(t *testing.T) {
+	cfg := DefaultConfig()
+	d := cfg.IntraCopyTime(12000)
+	if d != sim.Microsecond {
+		t.Fatalf("12000 B at 12000 B/us should cost 1 us, got %d", d)
+	}
+}
+
+func TestDefaultCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Alpha != 2*sim.Microsecond {
+		t.Fatalf("alpha %d, want 2 us", cfg.Alpha)
+	}
+	if cfg.CallOverhead <= 0 || cfg.CallOverhead >= sim.Microsecond {
+		t.Fatalf("call overhead %d out of the sub-microsecond range", cfg.CallOverhead)
+	}
+	if cfg.ProcsPerNode != 1 {
+		t.Fatal("default mapping should be one rank per node")
+	}
+}
+
+// Property: WireTime is monotone in size and Latency = Alpha + WireTime.
+func TestWireTimeMonotoneProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		if cfg.WireTime(a) > cfg.WireTime(b) {
+			return false
+		}
+		return cfg.Latency(a) == cfg.Alpha+cfg.WireTime(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroPPNTreatedAsOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProcsPerNode = 0
+	if cfg.NodeOf(5) != 5 {
+		t.Fatal("ppn=0 should behave like ppn=1")
+	}
+}

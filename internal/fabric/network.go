@@ -1,0 +1,108 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Network is the interconnect of one simulated cluster: N ranks, one NIC
+// each, plus the intranode FIFO mesh. All methods must be called from
+// kernel or proc context of the owning simulation (never concurrently).
+type Network struct {
+	K   *sim.Kernel
+	Cfg Config
+
+	nics     []*NIC
+	handlers []func(*Packet)
+	fifos    map[fifoKey]*Fifo
+	regs     []*RegCache
+
+	// Delivered counts total packets handed to delivery handlers.
+	Delivered int64
+	// BytesMoved counts total payload bytes delivered.
+	BytesMoved int64
+}
+
+type fifoKey struct{ src, dst int }
+
+// NewNetwork builds the interconnect for n ranks.
+func NewNetwork(k *sim.Kernel, n int, cfg Config) *Network {
+	if n <= 0 {
+		panic("fabric: network needs at least one rank")
+	}
+	nw := &Network{
+		K:        k,
+		Cfg:      cfg,
+		handlers: make([]func(*Packet), n),
+		fifos:    make(map[fifoKey]*Fifo),
+		regs:     make([]*RegCache, n),
+	}
+	nw.nics = make([]*NIC, n)
+	for r := 0; r < n; r++ {
+		nw.nics[r] = newNIC(nw, r)
+		nw.regs[r] = NewRegCache(cfg.RegCacheEntries)
+	}
+	return nw
+}
+
+// N returns the number of ranks on the network.
+func (nw *Network) N() int { return len(nw.nics) }
+
+// SetHandler installs the delivery handler for rank r. The handler runs in
+// kernel (event) context — it models NIC/HCA processing and must not block.
+func (nw *Network) SetHandler(r int, h func(*Packet)) { nw.handlers[r] = h }
+
+// NIC returns rank r's network interface.
+func (nw *Network) NIC(r int) *NIC { return nw.nics[r] }
+
+// RegCache returns rank r's memory-registration cache.
+func (nw *Network) RegCache(r int) *RegCache { return nw.regs[r] }
+
+// Send injects packet p at its source NIC. Internode packets traverse the
+// injection pipeline under flow control; same-node packets take the
+// shared-memory path (no pipeline, no credits).
+func (nw *Network) Send(p *Packet) {
+	if p.Src < 0 || p.Src >= len(nw.nics) || p.Dst < 0 || p.Dst >= len(nw.nics) {
+		panic(fmt.Sprintf("fabric: send with bad endpoints src=%d dst=%d n=%d", p.Src, p.Dst, len(nw.nics)))
+	}
+	if nw.Cfg.SameNode(p.Src, p.Dst) {
+		d := nw.Cfg.AlphaIntra + nw.Cfg.IntraCopyTime(p.Size)
+		nw.K.After(d, func() {
+			if p.OnTxDone != nil {
+				p.OnTxDone()
+			}
+			nw.deliver(p)
+		})
+		return
+	}
+	nw.nics[p.Src].enqueue(p)
+}
+
+// deliver hands p to the destination handler and updates statistics.
+func (nw *Network) deliver(p *Packet) {
+	nw.Delivered++
+	nw.BytesMoved += p.Size
+	h := nw.handlers[p.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("fabric: no delivery handler for rank %d (packet kind %d from %d)", p.Dst, p.Kind, p.Src))
+	}
+	h(p)
+}
+
+// Fifo returns the intranode 64-bit notification FIFO carrying packets from
+// src to dst. Both ranks must share a node. FIFOs are created lazily; the
+// two directions of a pair are independent rings (the paper's "two-way
+// shared-memory wait-free FIFO").
+func (nw *Network) Fifo(src, dst int) *Fifo {
+	if !nw.Cfg.SameNode(src, dst) {
+		panic(fmt.Sprintf("fabric: intranode FIFO requested across nodes (%d->%d)", src, dst))
+	}
+	key := fifoKey{src, dst}
+	f, ok := nw.fifos[key]
+	if !ok {
+		f = NewFifo(nw.Cfg.FifoCapacity)
+		nw.fifos[key] = f
+	}
+	return f
+}

@@ -1,0 +1,141 @@
+package fabric
+
+import "repro/internal/sim"
+
+// desc is one queued send descriptor.
+type desc struct {
+	pkt     *Packet
+	regCost sim.Time // registration-cache miss penalty, charged as DMA setup
+}
+
+// NIC models one host channel adapter. It has a single serial injection
+// pipeline: descriptors from all peers share the outgoing wire, each
+// occupying it for WireTime(size). Delivery order is FIFO per peer (the
+// property the RMA protocol relies on for done-after-data ordering), and a
+// peer whose flow-control credits are exhausted is skipped without blocking
+// traffic to other peers (per-QP flow control).
+//
+// The NIC is autonomous: once a descriptor is posted, transmission, delivery
+// and credit recovery all proceed in kernel-event context with no further
+// CPU involvement from the owning rank. This is what lets a rank that is
+// busy computing still drain its posted RMA and done packets — the physical
+// basis of the paper's nonblocking epoch-closing semantics.
+type NIC struct {
+	nw   *Network
+	rank int
+
+	queue   []*desc
+	busy    bool
+	credits map[int]int
+
+	// Stats.
+	Sent       int64
+	BytesSent  int64
+	Stalls     int64 // times the pipeline found only credit-stalled peers
+	MaxQueue   int
+	creditInit int
+}
+
+func newNIC(nw *Network, rank int) *NIC {
+	return &NIC{
+		nw:         nw,
+		rank:       rank,
+		credits:    make(map[int]int),
+		creditInit: nw.Cfg.CreditsPerPeer,
+	}
+}
+
+// QueueLen returns the number of descriptors waiting for the wire.
+func (n *NIC) QueueLen() int { return len(n.queue) }
+
+// enqueue posts a packet to the injection queue and kicks the pipeline.
+func (n *NIC) enqueue(p *Packet) {
+	d := &desc{pkt: p}
+	if rc := n.nw.regs[n.rank]; rc != nil && p.Size > 0 {
+		if !rc.Touch(regionKeyFor(p)) {
+			d.regCost = n.nw.Cfg.RegMissCost
+		}
+	}
+	n.queue = append(n.queue, d)
+	if len(n.queue) > n.MaxQueue {
+		n.MaxQueue = len(n.queue)
+	}
+	n.tryStart()
+}
+
+// regionKeyFor derives a registration-cache key from a packet. Payload
+// buffers are keyed by identity of the window/op region recorded in Arg[3]
+// by upper layers; 0 means "untracked region" and always hits.
+func regionKeyFor(p *Packet) uint64 {
+	return uint64(p.Arg[3])
+}
+
+// hasCredit reports whether a packet toward dst may start transmission.
+func (n *NIC) hasCredit(dst int) bool {
+	if n.creditInit <= 0 {
+		return true
+	}
+	used, ok := n.credits[dst]
+	if !ok {
+		used = 0
+	}
+	return used < n.creditInit
+}
+
+// tryStart starts transmitting the oldest descriptor whose peer has
+// credits. It preserves per-peer FIFO order: once a descriptor for peer P is
+// skipped for lack of credit, every later descriptor for P is skipped too.
+func (n *NIC) tryStart() {
+	if n.busy || len(n.queue) == 0 {
+		return
+	}
+	var skipped map[int]bool
+	for i, d := range n.queue {
+		dst := d.pkt.Dst
+		if skipped[dst] {
+			continue
+		}
+		if !n.hasCredit(dst) {
+			if skipped == nil {
+				skipped = make(map[int]bool)
+			}
+			skipped[dst] = true
+			continue
+		}
+		n.queue = append(n.queue[:i], n.queue[i+1:]...)
+		n.transmit(d)
+		return
+	}
+	n.Stalls++
+}
+
+// transmit occupies the wire for the descriptor's duration, then schedules
+// delivery and credit recovery.
+func (n *NIC) transmit(d *desc) {
+	n.busy = true
+	dst := d.pkt.Dst
+	if n.creditInit > 0 {
+		n.credits[dst]++
+	}
+	n.Sent++
+	n.BytesSent += d.pkt.Size
+	cfg := n.nw.Cfg
+	wire := cfg.WireTime(d.pkt.Size) + d.regCost
+	k := n.nw.K
+	k.After(wire, func() {
+		n.busy = false
+		if d.pkt.OnTxDone != nil {
+			d.pkt.OnTxDone()
+		}
+		// Propagation to the destination.
+		k.After(cfg.Alpha, func() { n.nw.deliver(d.pkt) })
+		// Hardware ACK returns the credit.
+		if n.creditInit > 0 {
+			k.After(cfg.Alpha+cfg.AckLatency, func() {
+				n.credits[dst]--
+				n.tryStart()
+			})
+		}
+		n.tryStart()
+	})
+}

@@ -1,0 +1,53 @@
+package fabric
+
+// Kind tags the protocol family of a packet. The fabric itself is agnostic
+// to kinds; they exist so a single per-rank delivery handler can demultiplex.
+type Kind uint8
+
+// Packet kinds used by the upper layers (internal/mpi and internal/core).
+const (
+	KindUser Kind = iota
+	// Two-sided protocol (internal/mpi).
+	KindEager   // eager two-sided payload
+	KindRTS     // rendezvous ready-to-send
+	KindCTS     // rendezvous clear-to-send
+	KindRData   // rendezvous data
+	KindBarrier // dissemination-barrier round token
+	// RMA protocol (internal/core).
+	KindPutData    // one-sided put payload
+	KindGetReq     // get request (response produced by the target NIC)
+	KindGetResp    // get response payload
+	KindAccData    // accumulate payload
+	KindGetAccReq  // get-accumulate / fetch-and-op request
+	KindGetAccResp // fetched-value response
+	KindCASReq     // compare-and-swap request
+	KindCASResp    // compare-and-swap response
+	KindAccRTS     // large-accumulate rendezvous request (target buffer)
+	KindAccCTS     // large-accumulate clear-to-send
+	KindPostNotify // exposure opened: remote g-counter update
+	KindDone       // access-epoch done packet (carries the access id)
+	KindFenceDone  // per-round fence completion notification
+	KindLockReq    // passive-target lock request
+	KindLockGrant  // lock granted notification
+	KindUnlock     // lock release (ordered after the epoch's RMA)
+	KindFlushAck   // remote-completion acknowledgement for flushes
+)
+
+// Packet is one message on the wire. Size is what the latency model charges
+// for; Payload carries structured upper-layer data (it is never serialized —
+// the simulation moves Go values, and the latency model charges Size bytes).
+type Packet struct {
+	Src, Dst int
+	Kind     Kind
+	Size     int64
+	Payload  interface{}
+
+	// Arg carries small fixed protocol fields (epoch ids, counters) so most
+	// control packets need no allocation-heavy payloads.
+	Arg [4]int64
+
+	// OnTxDone, if set, runs in kernel context the moment the packet has
+	// fully left the sender's injection pipeline (local completion: the
+	// origin buffer is reusable). Same-node packets fire it at delivery.
+	OnTxDone func()
+}

@@ -1,0 +1,49 @@
+package mpi
+
+import "repro/internal/fabric"
+
+// barrierState tracks dissemination-barrier tokens. Tokens are keyed by
+// (generation, round) so overlapping generations from fast peers are safe.
+type barrierState struct {
+	gen  int64
+	seen map[[2]int64]bool
+}
+
+// arrive records an incoming token for (generation, round).
+func (b *barrierState) arrive(gen, round int64) {
+	if b.seen == nil {
+		b.seen = make(map[[2]int64]bool)
+	}
+	b.seen[[2]int64{gen, round}] = true
+}
+
+// take consumes a token if present.
+func (b *barrierState) take(gen, round int64) bool {
+	key := [2]int64{gen, round}
+	if b.seen[key] {
+		delete(b.seen, key)
+		return true
+	}
+	return false
+}
+
+// Barrier blocks until every rank in the job has entered the barrier, using
+// the dissemination algorithm (ceil(log2 n) rounds of token exchanges).
+func (r *Rank) Barrier() {
+	r.ChargeCall()
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	r.barrier.gen++
+	gen := r.barrier.gen
+	for round, dist := int64(0), 1; dist < n; round, dist = round+1, dist*2 {
+		dst := (r.ID + dist) % n
+		r.world.Net.Send(&fabric.Packet{
+			Src: r.ID, Dst: dst, Kind: fabric.KindBarrier, Size: 8,
+			Arg: [4]int64{gen, round, 0, 0},
+		})
+		rd := round
+		r.waitUntil("barrier", func() bool { return r.barrier.take(gen, rd) })
+	}
+}

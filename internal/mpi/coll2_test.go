@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGather(t *testing.T) {
+	var got []byte
+	run(t, 4, func(r *Rank) {
+		blk := []byte{byte(r.ID * 10), byte(r.ID*10 + 1)}
+		out := r.Gather(2, blk, 2)
+		if r.ID == 2 {
+			got = out
+		} else if out != nil {
+			t.Errorf("non-root rank %d got non-nil gather result", r.ID)
+		}
+	})
+	want := []byte{0, 1, 10, 11, 20, 21, 30, 31}
+	if string(got) != string(want) {
+		t.Fatalf("gather got %v, want %v", got, want)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	blocks := make([][]byte, 3)
+	run(t, 3, func(r *Rank) {
+		var data []byte
+		if r.ID == 0 {
+			data = []byte{1, 2, 3, 4, 5, 6}
+		}
+		blocks[r.ID] = r.Scatter(0, data, 2)
+	})
+	want := [][]byte{{1, 2}, {3, 4}, {5, 6}}
+	for i := range want {
+		if string(blocks[i]) != string(want[i]) {
+			t.Fatalf("rank %d scatter block %v, want %v", i, blocks[i], want[i])
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	results := make([][]byte, 3)
+	run(t, 3, func(r *Rank) {
+		results[r.ID] = r.Allgather([]byte{byte(r.ID + 1)}, 1)
+	})
+	for i, res := range results {
+		if string(res) != string([]byte{1, 2, 3}) {
+			t.Fatalf("rank %d allgather %v", i, res)
+		}
+	}
+}
+
+func TestWaitany(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.ID == 0 {
+			fast := r.Isend(1, 1, nil, 100000)
+			slow := r.Isend(1, 2, nil, 1000000)
+			idx := r.Waitany(slow, fast)
+			if idx != 1 {
+				t.Errorf("Waitany returned %d, want 1 (the faster send)", idx)
+			}
+			r.Wait(slow, fast)
+		} else {
+			a := r.Irecv(0, 1)
+			b := r.Irecv(0, 2)
+			r.Wait(a, b)
+		}
+	})
+}
+
+func TestTestall(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.ID == 0 {
+			req := r.Isend(1, 1, nil, 1<<20)
+			polls := 0
+			for !r.Testall(req) {
+				polls++
+				r.Compute(50 * sim.Microsecond)
+			}
+			if polls == 0 {
+				t.Error("Testall true before a 1MB rendezvous could finish")
+			}
+		} else {
+			r.Compute(100 * sim.Microsecond)
+			r.RecvMsg(0, 1)
+		}
+	})
+}
+
+func TestWaitanyEmptyPanics(t *testing.T) {
+	w := NewWorld(1, testCfg())
+	err := w.Run(func(r *Rank) { r.Waitany(nil, nil) })
+	if err == nil {
+		t.Fatal("Waitany with no live requests should fail")
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.ID == 0 {
+			req := r.Isend(0, 3, []byte("self"), 4)
+			got := r.RecvMsg(0, 3)
+			r.Wait(req)
+			if string(got) != "self" {
+				t.Errorf("self message got %q", got)
+			}
+		}
+		r.Barrier()
+	})
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	run(t, 1, func(r *Rank) {
+		r.Barrier()
+		if v := r.AllreduceInt64(OpSum, 7); v != 7 {
+			t.Errorf("1-rank allreduce %d", v)
+		}
+		if out := r.Bcast(0, []byte{1}, 1); out[0] != 1 {
+			t.Error("1-rank bcast lost data")
+		}
+	})
+}

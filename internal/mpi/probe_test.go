@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestProbeEager(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.ID == 0 {
+			r.SendMsg(1, 4, []byte("abc"), 3)
+		} else {
+			size := r.Probe(0, 4)
+			if size != 3 {
+				t.Errorf("probe size %d, want 3", size)
+			}
+			if got := r.RecvMsg(0, 4); string(got) != "abc" {
+				t.Errorf("recv after probe got %q", got)
+			}
+		}
+	})
+}
+
+func TestProbeRendezvous(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.ID == 0 {
+			r.SendMsg(1, 5, nil, 1<<20)
+		} else {
+			size := r.Probe(0, 5)
+			if size != 1<<20 {
+				t.Errorf("probe size %d, want 1MB", size)
+			}
+			r.RecvMsg(0, 5)
+		}
+	})
+}
+
+func TestIprobeNoMessage(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.ID == 1 {
+			if ok, _ := r.Iprobe(0, 9); ok {
+				t.Error("Iprobe found a message that was never sent")
+			}
+		}
+		r.Barrier()
+	})
+}
+
+func TestIprobeSeesUnexpected(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.ID == 0 {
+			r.SendMsg(1, 6, nil, 64)
+		} else {
+			r.Compute(100 * sim.Microsecond)
+			ok, size := r.Iprobe(0, 6)
+			if !ok || size != 64 {
+				t.Errorf("Iprobe ok=%t size=%d, want true/64", ok, size)
+			}
+			r.RecvMsg(0, 6)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package mpi
+
+// Request is the internal object behind an MPI_REQUEST handle. The RMA layer
+// (internal/core) specializes requests as epoch-opening, epoch-closing or
+// flush requests by attaching completion hooks; the two-sided layer uses
+// them for Isend/Irecv.
+type Request struct {
+	rank *Rank
+	done bool
+	data []byte  // received payload, for receive requests
+	recv *recvOp // receive bookkeeping, for receive requests
+
+	// onComplete hooks run (in kernel or engine context) when the request
+	// completes; used by internal/core to chain epoch state machines.
+	onComplete []func()
+}
+
+// NewRequest creates an incomplete request owned by rank r.
+func NewRequest(r *Rank) *Request { return &Request{rank: r} }
+
+// NewCompletedRequest creates a request already flagged complete. The
+// paper's nonblocking epoch-opening routines return exactly this: "a dummy
+// request object that is flagged as completed at creation time".
+func NewCompletedRequest(r *Rank) *Request { return &Request{rank: r, done: true} }
+
+// Done reports completion without driving progress (use Rank.Test to poll).
+func (q *Request) Done() bool { return q == nil || q.done }
+
+// Data returns the payload attached at completion (receives only).
+func (q *Request) Data() []byte { return q.data }
+
+// OnComplete registers fn to run when the request completes. If the request
+// is already complete, fn runs immediately.
+func (q *Request) OnComplete(fn func()) {
+	if q.done {
+		fn()
+		return
+	}
+	q.onComplete = append(q.onComplete, fn)
+}
+
+// Complete marks the request done, runs hooks and wakes the owning rank.
+// Safe to call from kernel (NIC/engine) context.
+func (q *Request) Complete() {
+	if q.done {
+		return
+	}
+	q.done = true
+	for _, fn := range q.onComplete {
+		fn()
+	}
+	q.onComplete = nil
+	if q.rank != nil {
+		q.rank.Wake.Fire()
+	}
+}

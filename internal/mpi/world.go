@@ -1,0 +1,60 @@
+// Package mpi is a minimal MPI-like runtime over the simulated fabric:
+// ranks, request objects with the Wait/Test family, two-sided point-to-point
+// communication (eager + rendezvous), a dissemination barrier and a few
+// collectives. The one-sided (RMA) layer lives in internal/core and plugs
+// into each rank's progress loop so that, as in the paper's design, "an
+// RMA-related call progresses pending collective and two-sided
+// communications and vice versa".
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// World is one simulated MPI job: a kernel, a network, and n ranks.
+type World struct {
+	K   *sim.Kernel
+	Net *fabric.Network
+
+	ranks []*Rank
+}
+
+// NewWorld creates a job of n ranks over a fresh kernel and network.
+func NewWorld(n int, cfg fabric.Config) *World {
+	k := sim.NewKernel()
+	w := &World{K: k, Net: fabric.NewNetwork(k, n, cfg)}
+	w.ranks = make([]*Rank, n)
+	for i := 0; i < n; i++ {
+		w.ranks[i] = newRank(w, i)
+		r := w.ranks[i]
+		w.Net.SetHandler(i, r.onDeliver)
+	}
+	return w
+}
+
+// Size returns the number of ranks in the job.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Launch spawns rank i's application body as a simulated process.
+func (w *World) Launch(i int, body func(*Rank)) {
+	r := w.ranks[i]
+	if r.Proc != nil {
+		panic(fmt.Sprintf("mpi: rank %d launched twice", i))
+	}
+	r.Proc = w.K.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) { body(r) })
+}
+
+// Run launches body on every rank and executes the simulation to
+// completion. It returns the kernel error, if any (panic or deadlock).
+func (w *World) Run(body func(*Rank)) error {
+	for i := range w.ranks {
+		w.Launch(i, body)
+	}
+	return w.K.Run()
+}

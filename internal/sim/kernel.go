@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every simulated MPI rank runs as a goroutine (a Proc), but the kernel
+// enforces strictly sequential execution: exactly one goroutine — either the
+// kernel loop or a single Proc — runs at any instant, and control is handed
+// over explicitly through per-proc channels. Combined with a totally ordered
+// event queue (time, then insertion sequence) this makes every simulation
+// bit-for-bit reproducible.
+//
+// Time is virtual and expressed in nanoseconds. Nothing in this package
+// consults the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time = int64
+
+// Convenience duration units, all in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// event is a scheduled callback. Events with equal activation time fire in
+// insertion order (seq), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel owns the virtual clock, the event queue and all Procs of one
+// simulation run. The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	yield   chan struct{} // handoff from the active proc back to the kernel
+	procs   []*Proc
+	started bool
+	fail    error // first panic or kernel-level error observed
+}
+
+// NewKernel returns an empty simulation kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at virtual time t. Scheduling in
+// the past is an error that aborts the run.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		k.abort(fmt.Errorf("sim: event scheduled in the past: t=%d now=%d", t, k.now))
+		return
+	}
+	k.seq++
+	heap.Push(&k.heap, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// abort records a fatal kernel error; Run returns it once the active proc
+// yields.
+func (k *Kernel) abort(err error) {
+	if k.fail == nil {
+		k.fail = err
+	}
+}
+
+// Spawn registers a new process whose body starts executing at the current
+// virtual time. The body runs in its own goroutine under kernel scheduling.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	return k.SpawnAt(k.now, name, body)
+}
+
+// SpawnAt registers a new process whose body starts at virtual time t.
+func (k *Kernel) SpawnAt(t Time, name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		Name:   name,
+		ID:     len(k.procs),
+		resume: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.At(t, func() {
+		go p.run(body)
+		k.switchTo(p)
+	})
+	return p
+}
+
+// switchTo hands the execution token to p and blocks until p yields it back.
+// Must only be called from kernel context (inside an event fn).
+func (k *Kernel) switchTo(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// Run executes events until the queue drains. It returns an error if any
+// proc panicked, if an event was scheduled in the past, or if the queue
+// drained while procs were still parked (deadlock).
+func (k *Kernel) Run() error {
+	if k.started {
+		return fmt.Errorf("sim: kernel already ran")
+	}
+	k.started = true
+	for len(k.heap) > 0 {
+		e := heap.Pop(&k.heap).(*event)
+		k.now = e.at
+		e.fn()
+		if k.fail != nil {
+			return k.fail
+		}
+	}
+	if stuck := k.parked(); len(stuck) > 0 {
+		return fmt.Errorf("sim: deadlock at t=%d: parked procs with empty event queue: %s",
+			k.now, strings.Join(stuck, ", "))
+	}
+	return nil
+}
+
+// parked lists the names of procs that are blocked with no pending wakeup.
+func (k *Kernel) parked() []string {
+	var names []string
+	for _, p := range k.procs {
+		if !p.finished {
+			names = append(names, fmt.Sprintf("%s(wait=%s)", p.Name, p.waitTag))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Procs returns all processes ever spawned, in spawn order.
+func (k *Kernel) Procs() []*Proc { return k.procs }

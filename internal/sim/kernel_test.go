@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.At(10, func() { got = append(got, 11) }) // same time: insertion order
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	k := NewKernel()
+	var at10, at25 Time
+	k.At(10, func() { at10 = k.Now() })
+	k.At(25, func() { at25 = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at10 != 10 || at25 != 25 {
+		t.Fatalf("clock saw %d and %d, want 10 and 25", at10, at25)
+	}
+	if k.Now() != 25 {
+		t.Fatalf("final clock %d, want 25", k.Now())
+	}
+}
+
+func TestSchedulingInPastFails(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() { k.At(50, func() {}) })
+	if err := k.Run(); err == nil || !strings.Contains(err.Error(), "past") {
+		t.Fatalf("want scheduling-in-the-past error, got %v", err)
+	}
+}
+
+func TestProcSleepAndCompute(t *testing.T) {
+	k := NewKernel()
+	var wake, done Time
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(100)
+		wake = p.Now()
+		p.Compute(50)
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 100 || done != 150 {
+		t.Fatalf("wake=%d done=%d, want 100 and 150", wake, done)
+	}
+}
+
+func TestProcsInterleave(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(10)
+		trace = append(trace, "a1")
+		p.Sleep(20)
+		trace = append(trace, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(15)
+		trace = append(trace, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a0 b0 a1 b1 a2"
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("interleaving %q, want %q", got, want)
+	}
+}
+
+func TestSignalWakesAllWaiters(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(p *Proc) {
+			s.Wait(p, "test")
+			woke++
+		})
+	}
+	k.Spawn("firer", func(p *Proc) {
+		p.Sleep(10)
+		s.Fire()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke %d waiters, want 3", woke)
+	}
+}
+
+func TestSignalWaitForPreSatisfied(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	ran := false
+	k.Spawn("p", func(p *Proc) {
+		s.WaitFor(p, "pre", func() bool { return true })
+		ran = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("WaitFor blocked on a pre-satisfied predicate")
+	}
+}
+
+func TestSignalWaitForRechecks(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	x := 0
+	var doneAt Time
+	k.Spawn("waiter", func(p *Proc) {
+		s.WaitFor(p, "x==2", func() bool { return x == 2 })
+		doneAt = p.Now()
+	})
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(10)
+		x = 1
+		s.Fire() // spurious with respect to the predicate
+		p.Sleep(10)
+		x = 2
+		s.Fire()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 20 {
+		t.Fatalf("waiter finished at %d, want 20", doneAt)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	k.Spawn("stuck", func(p *Proc) {
+		s.Wait(p, "never-fired")
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "never-fired") {
+		t.Fatalf("deadlock error should name the wait tag: %v", err)
+	}
+}
+
+func TestProcPanicCaptured(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("boom", func(p *Proc) { panic("kaput") })
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+}
+
+func TestKernelRunsOnce(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestSpawnAtFuture(t *testing.T) {
+	k := NewKernel()
+	var started Time
+	k.SpawnAt(500, "late", func(p *Proc) { started = p.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if started != 500 {
+		t.Fatalf("proc started at %d, want 500", started)
+	}
+}
+
+func TestYieldLetsSameTimeEventsRun(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("p", func(p *Proc) {
+		k.At(k.Now(), func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "proc")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "event,proc" {
+		t.Fatalf("order %v, want event before proc", order)
+	}
+}
+
+// TestDeterminism runs the same mixed workload twice and requires identical
+// traces.
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel()
+		rng := NewRNG(42)
+		var trace []Time
+		for i := 0; i < 4; i++ {
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(Time(rng.Intn(100) + 1))
+					trace = append(trace, p.Now())
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: however events are inserted, they fire in nondecreasing time
+// order with FIFO tie-breaking.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		k := NewKernel()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			at := Time(d % 1000)
+			idx := i
+			k.At(at, func() { fired = append(fired, rec{at, idx}) })
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// Proc is one simulated process (e.g. an MPI rank). Its body function runs
+// in a dedicated goroutine, but only while the proc holds the kernel's
+// execution token, so proc code never races with other procs or with event
+// callbacks.
+type Proc struct {
+	k        *Kernel
+	Name     string
+	ID       int
+	resume   chan struct{}
+	finished bool
+	waitTag  string // human-readable description of what the proc waits on
+}
+
+// run is the goroutine entry point. It waits for the first resume, executes
+// the body, and always returns the execution token to the kernel.
+func (p *Proc) run(body func(*Proc)) {
+	<-p.resume
+	defer func() {
+		p.finished = true
+		if r := recover(); r != nil {
+			p.k.abort(fmt.Errorf("sim: proc %q panicked: %v", p.Name, r))
+		}
+		p.k.yield <- struct{}{}
+	}()
+	body(p)
+}
+
+// Kernel returns the kernel this proc belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park yields the execution token and blocks until some event resumes this
+// proc. tag describes the wait for deadlock diagnostics.
+func (p *Proc) park(tag string) {
+	p.waitTag = tag
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.waitTag = ""
+}
+
+// Sleep advances this proc's virtual time by d without consuming CPU-model
+// resources. Other procs and the network keep progressing meanwhile.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	k := p.k
+	k.At(k.now+d, func() { k.switchTo(p) })
+	p.park(fmt.Sprintf("sleep(%dns)", d))
+}
+
+// Compute models CPU-bound work of duration d: virtually identical to Sleep
+// from the kernel's perspective, but callers use it to document that the
+// process CPU is busy and therefore not polling any progress engine.
+func (p *Proc) Compute(d Time) { p.Sleep(d) }
+
+// Yield gives every other currently-runnable same-time event a chance to run
+// before this proc continues.
+func (p *Proc) Yield() {
+	k := p.k
+	k.At(k.now, func() { k.switchTo(p) })
+	p.park("yield")
+}
+
+// Signal is a broadcast wakeup primitive. Procs park on it; Fire wakes all
+// current waiters by scheduling resume events at the present virtual time.
+// Waiters must re-check their predicate after waking (wakeups can be
+// spurious with respect to any particular condition).
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal creates a Signal bound to kernel k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Fire wakes every proc currently parked on the signal. Safe to call from
+// both kernel context and proc context.
+func (s *Signal) Fire() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		proc := p
+		s.k.At(s.k.now, func() { s.k.switchTo(proc) })
+	}
+}
+
+// Wait parks the calling proc until the next Fire. tag is used in deadlock
+// diagnostics.
+func (s *Signal) Wait(p *Proc, tag string) {
+	s.waiters = append(s.waiters, p)
+	p.park(tag)
+}
+
+// WaitFor parks p on the signal until pred() holds, re-evaluating after
+// every Fire. pred is evaluated immediately first, so a pre-satisfied
+// condition never blocks.
+func (s *Signal) WaitFor(p *Proc, tag string, pred func() bool) {
+	for !pred() {
+		s.Wait(p, tag)
+	}
+}

@@ -1,0 +1,167 @@
+// Package stats provides the small amount of descriptive statistics and
+// table rendering the benchmark harness needs to report paper-style
+// results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	Std  float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-rank
+// on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(c)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c[rank]
+}
+
+// Table is a simple labeled grid for paper-style reporting: one row per
+// x-axis point, one column per test series.
+type Table struct {
+	Title     string
+	Unit      string
+	RowHeader string
+	Cols      []string
+	Rows      []string
+	Cells     [][]float64 // [row][col]
+}
+
+// NewTable allocates a table with the given shape.
+func NewTable(title, unit, rowHeader string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, Unit: unit, RowHeader: rowHeader, Rows: rows, Cols: cols, Cells: cells}
+}
+
+// Set stores a cell by labels; it panics on unknown labels.
+func (t *Table) Set(row, col string, v float64) {
+	t.Cells[t.rowIndex(row)][t.colIndex(col)] = v
+}
+
+// Get reads a cell by labels.
+func (t *Table) Get(row, col string) float64 {
+	return t.Cells[t.rowIndex(row)][t.colIndex(col)]
+}
+
+func (t *Table) rowIndex(label string) int {
+	for i, r := range t.Rows {
+		if r == label {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown row %q in table %q", label, t.Title))
+}
+
+func (t *Table) colIndex(label string) int {
+	for i, c := range t.Cols {
+		if c == label {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown column %q in table %q", label, t.Title))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " [%s]", t.Unit)
+	}
+	b.WriteByte('\n')
+
+	width := len(t.RowHeader)
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	for j, c := range t.Cols {
+		colW[j] = len(c)
+		for i := range t.Rows {
+			s := formatCell(t.Cells[i][j])
+			if len(s) > colW[j] {
+				colW[j] = len(s)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s", width, t.RowHeader)
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", colW[j], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-*s", width, r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, "  %*s", colW[j], formatCell(t.Cells[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatCell prints a value compactly (integers without decimals).
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

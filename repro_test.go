@@ -1,0 +1,138 @@
+package repro_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	c := repro.NewCluster(2, repro.DefaultConfig())
+	payload := []byte("public api payload")
+	var ok bool
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, 256, repro.WinOptions{Mode: repro.ModeNew})
+		if r.ID == 0 {
+			win.IStart([]int{1})
+			win.Put(1, 0, payload, int64(len(payload)))
+			r.Wait(win.IComplete())
+		} else {
+			win.IPost([]int{0})
+			r.Wait(win.IWait())
+			ok = string(win.Bytes()[:len(payload)]) == string(payload)
+		}
+		win.Quiesce()
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !ok {
+		t.Fatal("payload not delivered through the public API")
+	}
+}
+
+func TestPublicVanillaMode(t *testing.T) {
+	c := repro.NewCluster(2, repro.DefaultConfig())
+	var got byte
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, 8, repro.WinOptions{Mode: repro.ModeVanilla})
+		if r.ID == 0 {
+			win.Lock(1, true)
+			win.Put(1, 0, []byte{42}, 1)
+			win.Unlock(1)
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			got = win.Bytes()[0]
+		}
+		win.Quiesce()
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("vanilla mode via facade failed: err=%v got=%d", err, got)
+	}
+}
+
+func TestPublicAtomicsAndReduce(t *testing.T) {
+	c := repro.NewCluster(4, repro.DefaultConfig())
+	var total int64
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, 8, repro.WinOptions{Mode: repro.ModeNew, Info: repro.Info{AAAR: true}})
+		one := make([]byte, 8)
+		binary.LittleEndian.PutUint64(one, 1)
+		var reqs []*repro.Request
+		for tgt := 0; tgt < 4; tgt++ {
+			win.ILock(tgt, true)
+			win.Accumulate(tgt, 0, repro.OpSum, repro.TUint64, one, 8)
+			reqs = append(reqs, win.IUnlock(tgt))
+		}
+		r.Wait(reqs...)
+		r.Barrier()
+		mine := int64(binary.LittleEndian.Uint64(win.Bytes()))
+		sum := r.AllreduceInt64(repro.ReduceSum, mine)
+		if r.ID == 0 {
+			total = sum
+		}
+		win.Quiesce()
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if total != 16 {
+		t.Fatalf("cluster-wide updates %d, want 16", total)
+	}
+}
+
+func TestPublicTracing(t *testing.T) {
+	c := repro.NewCluster(2, repro.DefaultConfig())
+	rec := c.EnableTracing()
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, 64, repro.WinOptions{Mode: repro.ModeNew, ShapeOnly: true})
+		if r.ID == 0 {
+			win.Start([]int{1})
+			win.Put(1, 0, nil, 64)
+			r.Compute(500 * repro.Microsecond)
+			win.Complete()
+		} else {
+			win.Post([]int{0})
+			win.WaitEpoch()
+		}
+		win.Quiesce()
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	rep := repro.AnalyzeTrace(rec)
+	lc := rep.Pattern("Late Complete")
+	if lc == nil || lc.Instances == 0 {
+		t.Fatalf("public tracing should surface the injected Late Complete:\n%s", rep)
+	}
+}
+
+func TestPublicDeadlockReporting(t *testing.T) {
+	c := repro.NewCluster(2, repro.DefaultConfig())
+	err := c.Run(func(r *repro.Rank) {
+		win := c.CreateWindow(r, 64, repro.WinOptions{Mode: repro.ModeNew})
+		if r.ID == 0 {
+			win.Start([]int{1})
+			win.Put(1, 0, nil, 8)
+			win.Complete() // rank 1 never posts: deadlock
+		}
+	})
+	if err == nil {
+		t.Fatal("unmatched epoch should surface as a run error")
+	}
+}
+
+func TestPublicVirtualClock(t *testing.T) {
+	c := repro.NewCluster(1, repro.DefaultConfig())
+	err := c.Run(func(r *repro.Rank) {
+		r.Compute(3 * repro.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() < 3*repro.Millisecond {
+		t.Fatalf("cluster clock %d, want >= 3ms", c.Now())
+	}
+}
