@@ -1,0 +1,58 @@
+// Package examples_test smoke-tests every example binary: each must build,
+// run to completion and exit 0. The examples double as integration tests of
+// the full stack (kernel, fabric, engine, epochs), so a regression that
+// slips past the unit tests usually breaks one of them.
+package examples_test
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var examples = []string{
+	"detector",
+	"lu",
+	"patterns",
+	"pipeline",
+	"quickstart",
+	"rulengine",
+	"stencil",
+	"transactions",
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take ~0.5s each")
+	}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// Each example finishes in well under a second; a hang is a bug
+			// and the deadline turns it into a failure instead of a stall.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+name)
+			cmd.Dir = mustAbs(t, ".")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\noutput:\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}
+
+func mustAbs(t *testing.T, p string) string {
+	t.Helper()
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

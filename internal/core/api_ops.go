@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/mpi"
 )
 
@@ -39,23 +37,23 @@ func (w *Window) RGet(target int, off int64, buf []byte, size int64) *mpi.Reques
 }
 
 // checkTyped validates a typed accumulate-class operand.
-func checkTyped(dt DType, size int64) {
+func (w *Window) checkTyped(dt DType, size int64) {
 	if es := int64(dt.Size()); size%es != 0 {
-		panic(fmt.Sprintf("core: operand size %d not a multiple of element size %d", size, es))
+		w.raisef("operand size %d not a multiple of element size %d", size, es)
 	}
 }
 
 // Accumulate atomically combines data into target memory element-wise with
 // op. Element atomicity holds per (window, target, element), as in MPI.
 func (w *Window) Accumulate(target int, off int64, op AccOp, dt DType, data []byte, size int64) {
-	checkTyped(dt, size)
+	w.checkTyped(dt, size)
 	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opAcc,
 		target: target, off: off, data: data, size: size, dtype: dt, op: op})
 }
 
 // RAccumulate is the request-based Accumulate.
 func (w *Window) RAccumulate(target int, off int64, op AccOp, dt DType, data []byte, size int64) *mpi.Request {
-	checkTyped(dt, size)
+	w.checkTyped(dt, size)
 	req := mpi.NewRequest(w.rank)
 	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opAcc,
 		target: target, off: off, data: data, size: size, dtype: dt, op: op, req: req})
@@ -66,14 +64,14 @@ func (w *Window) RAccumulate(target int, off int64, op AccOp, dt DType, data []b
 // while combining data into the target with op (OpNoOp makes it an atomic
 // get).
 func (w *Window) GetAccumulate(target int, off int64, op AccOp, dt DType, data, result []byte, size int64) {
-	checkTyped(dt, size)
+	w.checkTyped(dt, size)
 	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opGetAcc,
 		target: target, off: off, data: data, buf: result, size: size, dtype: dt, op: op})
 }
 
 // RGetAccumulate is the request-based GetAccumulate.
 func (w *Window) RGetAccumulate(target int, off int64, op AccOp, dt DType, data, result []byte, size int64) *mpi.Request {
-	checkTyped(dt, size)
+	w.checkTyped(dt, size)
 	req := mpi.NewRequest(w.rank)
 	w.addOp(&rmaOp{ep: w.currentAccessEpoch(target), class: opGetAcc,
 		target: target, off: off, data: data, buf: result, size: size, dtype: dt, op: op, req: req})

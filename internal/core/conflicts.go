@@ -1,7 +1,5 @@
 package core
 
-import "fmt"
-
 // Conflict checking — a debugging aid for Section VI-C. When the reorder
 // flags are enabled, correctness rests on the programmer's guarantee that
 // "the RMA activities of concurrently progressed epochs involve strictly
@@ -53,10 +51,10 @@ func (w *Window) checkConflict(o *rmaOp) {
 		}
 		for _, prev := range other.extents {
 			if ext.overlaps(prev) {
-				panic(fmt.Sprintf(
-					"core: conflict check failed on window %d (rank %d): epoch %d accesses [%d,%d) on target %d, overlapping epoch %d's access [%d,%d) — concurrently progressed epochs must touch strictly disjoint memory (Section VI-C)",
-					w.id, w.rank.ID, o.ep.seq, ext.off, ext.off+ext.size, ext.target,
-					other.seq, prev.off, prev.off+prev.size))
+				w.raisef(
+					"conflict check failed: epoch %d accesses [%d,%d) on target %d, overlapping epoch %d's access [%d,%d) — concurrently progressed epochs must touch strictly disjoint memory (Section VI-C)",
+					o.ep.seq, ext.off, ext.off+ext.size, ext.target,
+					other.seq, prev.off, prev.off+prev.size)
 			}
 		}
 	}

@@ -24,13 +24,13 @@ const (
 // packWord encodes a control word: kind(4) | win(10) | src(18) | value(32).
 func packWord(kind ctlKind, win int64, src int, value int64) uint64 {
 	if win < 0 || win >= 1<<10 {
-		panic(fmt.Sprintf("core: window id %d exceeds FIFO word encoding", win))
+		panic(fmt.Sprintf("core: rank %d win %d: window id exceeds FIFO word encoding", src, win))
 	}
 	if src < 0 || src >= 1<<18 {
 		panic(fmt.Sprintf("core: rank %d exceeds FIFO word encoding", src))
 	}
 	if value < 0 || value >= 1<<32 {
-		panic(fmt.Sprintf("core: control value %d exceeds FIFO word encoding", value))
+		panic(fmt.Sprintf("core: rank %d win %d: control value %d exceeds FIFO word encoding", src, win, value))
 	}
 	return uint64(kind)<<60 | uint64(win)<<50 | uint64(src)<<32 | uint64(value)
 }
@@ -93,7 +93,7 @@ func (e *Engine) applyControl(kind ctlKind, w *Window, src int, value int64) {
 	case ctlUnlock:
 		e.lockBacklog = append(e.lockBacklog, lockWork{w: w, src: src, release: true})
 	default:
-		panic(fmt.Sprintf("core: bad control kind %d", kind))
+		e.raisef("bad control kind %d from %d (win %d)", kind, src, w.id)
 	}
 }
 

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Diagnostics: unified panic context and the epoch-state dump hooked into
+// the simulation kernel's deadlock/watchdog reports.
+//
+// Every abort raised from window or engine context goes through raisef so
+// the message always carries "core: rank R win W: ..." (or "core: rank R:
+// ..." when no window is in scope) — without that context a fuzzer failure
+// on a 16-rank run is unattributable.
+
+// raisef panics with full window context: "core: rank R win W: ...".
+func (w *Window) raisef(format string, args ...interface{}) {
+	panic(fmt.Sprintf("core: rank %d win %d: ", w.rank.ID, w.id) + fmt.Sprintf(format, args...))
+}
+
+// raisef panics with engine (rank) context: "core: rank R: ...".
+func (e *Engine) raisef(format string, args ...interface{}) {
+	panic(fmt.Sprintf("core: rank %d: ", e.rank.ID) + fmt.Sprintf(format, args...))
+}
+
+// registerDiagnostics hooks the runtime into the kernel's deadlock and
+// watchdog reports: when a rank's proc is blocked, the report includes a
+// dump of every pending epoch and the lock-agent state of each of the
+// rank's windows.
+func (rt *Runtime) registerDiagnostics() {
+	rt.world.K.AddDiagProvider(func(p *sim.Proc) string {
+		for _, e := range rt.engines {
+			if e.rank.Proc == p {
+				return e.dumpState()
+			}
+		}
+		return ""
+	})
+}
+
+// dumpState renders this rank's RMA state for a blocked-proc report.
+func (e *Engine) dumpState() string {
+	var b strings.Builder
+	for _, w := range e.winList {
+		excl, shared, queued := w.agent.holders()
+		fmt.Fprintf(&b, "win %d (mode=%s): %d pending epochs; lock agent excl=%d shared=%d queued=%d\n",
+			w.id, w.mode, len(w.epochs), excl, shared, queued)
+		for _, ep := range w.epochs {
+			fmt.Fprintf(&b, "  %s recLive=%d pending=%d done=%d/%d\n",
+				ep, ep.recLive, ep.pendingAll, ep.doneCount, ep.doneTargetCount())
+			if ep.kind.isAccessRole() && ep.activated {
+				var ungranted []int
+				for _, t := range ep.accessTargets() {
+					if !ep.granted(t) {
+						ungranted = append(ungranted, t)
+					}
+				}
+				if len(ungranted) > 0 {
+					fmt.Fprintf(&b, "    awaiting grants from %v\n", ungranted)
+				}
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// --- Introspection accessors (invariant checking, internal/fuzz) -------- //
+
+// PeerCounterState is a snapshot of the ω_r triple toward one peer, plus the
+// received-done high-water mark.
+type PeerCounterState struct {
+	A        int64 // accesses activated toward the peer (a_l)
+	E        int64 // exposures/lock grants opened toward the peer (e_l)
+	G        int64 // accesses granted by the peer (g, remote-updated)
+	DoneRecv int64 // highest access id whose done packet arrived
+}
+
+// PeerState returns this window's counter snapshot toward peer.
+func (w *Window) PeerState(peer int) PeerCounterState {
+	c := w.peers[peer]
+	return PeerCounterState{A: c.a, E: c.e, G: c.g, DoneRecv: c.doneRecv}
+}
+
+// LockAgentState reports the target-side lock state of this window: the
+// exclusive holder (-1 if none), the shared-holder count and the queue depth.
+func (w *Window) LockAgentState() (exclHolder, sharedCount, queued int) {
+	return w.agent.holders()
+}
+
+// PendingEpochs returns the number of not-yet-completed epochs.
+func (w *Window) PendingEpochs() int {
+	w.pruneCompleted()
+	return len(w.epochs)
+}
+
+// ID returns the window's per-rank id (stable across the collective job, as
+// windows are created collectively in the same order on every rank).
+func (w *Window) ID() int64 { return w.id }
+
+// debugFlipReorder, when set, inverts the Section VI-B reorder predicate.
+// It exists purely to validate the correctness tooling: a fuzzer that
+// cannot detect a flipped activation predicate is not testing anything.
+var debugFlipReorder bool
+
+// SetDebugFlipReorder toggles the deliberately-broken reorder predicate.
+// Testing hook — never set in production code.
+func SetDebugFlipReorder(v bool) { debugFlipReorder = v }

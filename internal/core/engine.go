@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 )
@@ -240,7 +238,7 @@ func (e *Engine) nicDeliver(p *fabric.Packet) {
 		w.agent.unlock(p.Src)
 
 	default:
-		panic(fmt.Sprintf("core: rank %d got unexpected packet kind %d", e.rank.ID, p.Kind))
+		e.raisef("unexpected packet kind %d from %d", p.Kind, p.Src)
 	}
 }
 
@@ -248,7 +246,7 @@ func (e *Engine) nicDeliver(p *fabric.Packet) {
 func (e *Engine) win(id int64) *Window {
 	w := e.windows[id]
 	if w == nil {
-		panic(fmt.Sprintf("core: rank %d has no window %d", e.rank.ID, id))
+		e.raisef("no window %d", id)
 	}
 	return w
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/mpi"
 )
 
@@ -60,7 +58,7 @@ func (w *Window) requirePassiveEpoch(t int) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("core: rank %d flushed window %d outside a passive-target epoch", w.rank.ID, w.id))
+	w.raisef("flush outside a passive-target epoch (target %d)", t)
 }
 
 // newFlush builds a stamped flush request over the currently incomplete

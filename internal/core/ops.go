@@ -46,7 +46,7 @@ func (w *Window) addOp(o *rmaOp) {
 	w.rank.ChargeCall()
 	w.checkRange(o.target, o.off, o.size)
 	if w.buf == nil && (o.data != nil || o.buf != nil || o.cmp != nil) {
-		panic("core: data-carrying RMA operation on a shape-only window")
+		w.raisef("data-carrying RMA operation on a shape-only window")
 	}
 	w.opAge++
 	o.age = w.opAge
@@ -213,7 +213,7 @@ func (e *Engine) opDelivered(o *rmaOp) {
 	ep.pending[o.target]--
 	ep.pendingAll--
 	if ep.pending[o.target] < 0 || ep.pendingAll < 0 {
-		panic("core: op completion accounting went negative")
+		ep.win.raisef("op completion accounting went negative on %s (target %d)", ep, o.target)
 	}
 	ep.win.settleFlushes(o, false)
 	if o.req != nil {

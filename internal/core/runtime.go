@@ -22,6 +22,7 @@ func NewRuntime(w *mpi.World) *Runtime {
 	for i := 0; i < w.Size(); i++ {
 		rt.engines[i] = newEngine(rt, w.Rank(i))
 	}
+	rt.registerDiagnostics()
 	return rt
 }
 
@@ -56,7 +57,7 @@ type WinOptions struct {
 // barrier.
 func (rt *Runtime) CreateWindow(r *mpi.Rank, size int64, opt WinOptions) *Window {
 	if size < 0 {
-		panic("core: negative window size")
+		panic(fmt.Sprintf("core: rank %d: negative window size %d", r.ID, size))
 	}
 	eng := rt.engines[r.ID]
 	w := &Window{

@@ -23,7 +23,7 @@ const (
 // never blocks.
 func (w *Window) IFence(assert FenceAssert) *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	var closeReq *mpi.Request
 	if w.curFence != nil {

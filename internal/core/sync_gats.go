@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/mpi"
 )
 
@@ -16,7 +14,7 @@ import (
 // nonblockingly; the returned request is pre-completed.
 func (w *Window) IStart(group []int) *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	ep := w.startEpoch(group)
 	return ep.openReq
@@ -36,7 +34,7 @@ func (w *Window) Start(group []int) {
 // startEpoch creates and enqueues a GATS access epoch.
 func (w *Window) startEpoch(group []int) *Epoch {
 	if len(group) == 0 {
-		panic("core: Start with an empty target group")
+		w.raisef("Start with an empty target group")
 	}
 	ep := newEpoch(w, EpochAccess)
 	ep.setTargets(append([]int(nil), group...))
@@ -52,7 +50,7 @@ func (w *Window) startEpoch(group []int) *Epoch {
 // unsafe until the returned request completes.
 func (w *Window) IComplete() *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	ep := w.findOpenGATSAccess()
 	return w.closeAccessEpoch(ep)
@@ -74,7 +72,8 @@ func (w *Window) findOpenGATSAccess() *Epoch {
 			return w.openAccess[i]
 		}
 	}
-	panic(fmt.Sprintf("core: rank %d has no open GATS access epoch", w.rank.ID))
+	w.raisef("no open GATS access epoch")
+	return nil
 }
 
 // IPost opens an exposure epoch toward the given origin group,
@@ -82,7 +81,7 @@ func (w *Window) findOpenGATSAccess() *Epoch {
 // "provided solely for uniformity and completeness" (Section V).
 func (w *Window) IPost(group []int) *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	ep := w.postEpoch(group)
 	return ep.openReq
@@ -100,7 +99,7 @@ func (w *Window) Post(group []int) {
 // postEpoch creates and enqueues a GATS exposure epoch.
 func (w *Window) postEpoch(group []int) *Epoch {
 	if len(group) == 0 {
-		panic("core: Post with an empty origin group")
+		w.raisef("Post with an empty origin group")
 	}
 	ep := newEpoch(w, EpochExposure)
 	ep.origins = append([]int(nil), group...)
@@ -117,7 +116,7 @@ func (w *Window) postEpoch(group []int) *Epoch {
 // (Section V).
 func (w *Window) IWait() *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	w.rank.ChargeCall()
 	ep := w.takeOldestExposure()
@@ -147,7 +146,7 @@ func (w *Window) WaitEpoch() {
 func (w *Window) TestEpoch() bool {
 	w.rank.ChargeCall()
 	if len(w.openExposure) == 0 {
-		panic(fmt.Sprintf("core: rank %d has no open exposure epoch to test", w.rank.ID))
+		w.raisef("no open exposure epoch to test")
 	}
 	ep := w.openExposure[0]
 	w.rank.Test(nil) // one progress sweep
@@ -172,7 +171,7 @@ func (w *Window) TestEpoch() bool {
 // takeOldestExposure pops the oldest application-open exposure epoch.
 func (w *Window) takeOldestExposure() *Epoch {
 	if len(w.openExposure) == 0 {
-		panic(fmt.Sprintf("core: rank %d has no open exposure epoch", w.rank.ID))
+		w.raisef("no open exposure epoch")
 	}
 	ep := w.openExposure[0]
 	w.openExposure = w.openExposure[1:]

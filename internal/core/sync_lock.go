@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/mpi"
 )
 
@@ -56,8 +54,7 @@ func (a *lockAgent) unlock(origin int) {
 	case a.sharedCount > 0:
 		a.sharedCount--
 	default:
-		panic(fmt.Sprintf("core: rank %d unlocked window %d on rank %d without holding it",
-			origin, a.w.id, a.w.rank.ID))
+		a.w.raisef("peer %d sent unlock without holding the lock", origin)
 	}
 	a.advance()
 }
@@ -110,7 +107,7 @@ func (w *Window) ILock(target int, exclusive bool) *mpi.Request {
 // and no unlock packet is sent.
 func (w *Window) ILockAssert(target int, exclusive, noCheck bool) *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	ep := newEpoch(w, EpochLock)
 	ep.shared = !exclusive
@@ -137,7 +134,7 @@ func (w *Window) Lock(target int, exclusive bool) {
 // the progress engine; completion is detected through the returned request.
 func (w *Window) IUnlock(target int) *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	ep := w.findOpenLock(target, EpochLock)
 	return w.closeAccessEpoch(ep)
@@ -155,7 +152,7 @@ func (w *Window) Unlock(target int) {
 // ILockAll opens a shared lock on every rank of the window, nonblockingly.
 func (w *Window) ILockAll() *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	ep := newEpoch(w, EpochLockAll)
 	ep.shared = true
@@ -177,7 +174,7 @@ func (w *Window) LockAll() {
 // IUnlockAll closes the lock-all epoch nonblockingly.
 func (w *Window) IUnlockAll() *mpi.Request {
 	if w.mode == ModeVanilla {
-		panic("core: nonblocking synchronizations are unavailable in vanilla mode")
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	ep := w.findOpenLock(-1, EpochLockAll)
 	return w.closeAccessEpoch(ep)
@@ -204,7 +201,8 @@ func (w *Window) findOpenLock(target int, kind EpochKind) *Epoch {
 			return ep
 		}
 	}
-	panic(fmt.Sprintf("core: rank %d has no open %s epoch toward %d", w.rank.ID, kind, target))
+	w.raisef("no open %s epoch toward %d", kind, target)
+	return nil
 }
 
 // closeAccessEpoch implements the common nonblocking close of access-role
@@ -213,7 +211,7 @@ func (w *Window) findOpenLock(target int, kind EpochKind) *Epoch {
 func (w *Window) closeAccessEpoch(ep *Epoch) *mpi.Request {
 	w.rank.ChargeCall()
 	if ep.closedApp {
-		panic("core: epoch closed twice")
+		w.raisef("%s epoch seq %d closed twice", ep.kind, ep.seq)
 	}
 	ep.closedApp = true
 	w.emitEpoch(traceClose, ep)

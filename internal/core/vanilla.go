@@ -154,14 +154,29 @@ func (w *Window) vanillaLockAll() {
 	w.epochs = append(w.epochs, ep)
 }
 
-// vanillaUnlockAll fulfils the lazy lock-all epoch.
+// vanillaUnlockAll fulfils the lazy lock-all epoch. Unlike the single-lock
+// close, the multi-target epoch is drained incrementally: each target's
+// transfers are issued the moment its grant arrives and its unlock is sent
+// as soon as they drain, without waiting for the remaining grants. Holding
+// every granted lock while blocked on the rest is a hold-and-wait pattern
+// that deadlocks against concurrent exclusive locks; real lazy
+// implementations acquire and release per target for exactly this reason.
 func (w *Window) vanillaUnlockAll() {
 	w.rank.ChargeCall()
 	ep := w.findOpenLock(-1, EpochLockAll)
 	w.emitEpoch(traceClose, ep)
 	w.removeOpenAccess(ep)
 	w.vanillaLockActivate(ep)
-	w.vanillaDrain(ep, ep.accessTargets())
+	ep.closedApp = true
+	targets := ep.accessTargets()
+	w.rank.WaitUntil("vanilla-lockall-drain", func() bool {
+		w.eng.issueReady(ep)
+		for _, t := range targets {
+			ep.maybePostDone(t)
+		}
+		ep.maybeComplete()
+		return ep.completed
+	})
 }
 
 // vanillaForceIssue pushes a lazy passive epoch far enough for a blocking

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/mpi"
 )
 
@@ -34,7 +32,13 @@ func (v vecShape) span() int64 {
 // checkVector validates a strided access against the window bounds.
 func (w *Window) checkVector(target int, off int64, v vecShape) {
 	if v.count < 0 || v.blockLen < 0 || v.stride < v.blockLen {
-		panic(fmt.Sprintf("core: bad vector shape count=%d blockLen=%d stride=%d", v.count, v.blockLen, v.stride))
+		w.raisef("bad vector shape count=%d blockLen=%d stride=%d", v.count, v.blockLen, v.stride)
+	}
+	// Guard the span computation against int64 overflow: a huge count or
+	// stride would wrap (count-1)*stride + blockLen back into range and
+	// defeat checkRange.
+	if v.count > 0 && v.stride > 0 && v.count-1 > (1<<62)/v.stride {
+		w.raisef("vector extent overflows: count=%d stride=%d", v.count, v.stride)
 	}
 	w.checkRange(target, off, v.span())
 }

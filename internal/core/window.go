@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/mpi"
 )
 
@@ -64,13 +62,15 @@ func (w *Window) Size() int64 { return w.size }
 // Bytes returns the local exposed memory. It is nil for shape-only windows.
 func (w *Window) Bytes() []byte { return w.buf }
 
-// checkRange validates a remote access range against the window size.
+// checkRange validates a remote access range against the window size. The
+// bound check avoids computing off+size: a huge off or size would wrap
+// int64 and slip past a naive `off+size > w.size` comparison.
 func (w *Window) checkRange(target int, off, size int64) {
 	if target < 0 || target >= w.n {
-		panic(fmt.Sprintf("core: RMA target %d out of range (n=%d)", target, w.n))
+		w.raisef("RMA target %d out of range (n=%d)", target, w.n)
 	}
-	if off < 0 || size < 0 || off+size > w.size {
-		panic(fmt.Sprintf("core: RMA range [%d,%d) exceeds window size %d", off, off+size, w.size))
+	if off < 0 || size < 0 || off > w.size || size > w.size-off {
+		w.raisef("RMA range off=%d size=%d exceeds window size %d", off, size, w.size)
 	}
 }
 
@@ -82,7 +82,8 @@ func (w *Window) currentAccessEpoch(t int) *Epoch {
 			return w.openAccess[i]
 		}
 	}
-	panic(fmt.Sprintf("core: rank %d issued an RMA operation to %d outside any access epoch", w.rank.ID, t))
+	w.raisef("RMA operation to %d issued outside any access epoch", t)
+	return nil
 }
 
 // removeOpenAccess unlinks an application-closed access epoch.
@@ -93,7 +94,7 @@ func (w *Window) removeOpenAccess(ep *Epoch) {
 			return
 		}
 	}
-	panic("core: closing an access epoch that is not open")
+	w.raisef("closing %s access epoch seq %d that is not open", ep.kind, ep.seq)
 }
 
 // pushEpoch registers a newly opened epoch with the deferred-epoch queue
@@ -158,6 +159,13 @@ func (w *Window) pruneCompleted() {
 // canReorder implements the Section VI-B activation predicate between a
 // still-active predecessor prev and a candidate next.
 func (w *Window) canReorder(prev, next *Epoch) bool {
+	if debugFlipReorder {
+		return !w.canReorderRules(prev, next)
+	}
+	return w.canReorderRules(prev, next)
+}
+
+func (w *Window) canReorderRules(prev, next *Epoch) bool {
 	if prev.kind.reorderExcluded() || next.kind.reorderExcluded() {
 		return false
 	}
@@ -192,7 +200,16 @@ func (w *Window) scanActivate() {
 		}
 		ok := true
 		for _, prev := range w.epochs[:i] {
-			// prev is pending (not completed); it may or may not be active.
+			// A predecessor can complete during this very scan: activating
+			// an empty epoch whose grants already arrived completes it on
+			// the spot. pruneCompleted ran before the loop, so such an
+			// epoch is still in the slice — but a completed epoch imposes
+			// no ordering constraint, and skipping it here matters: the
+			// wakeup its completion fired was consumed by the current
+			// sweep, so stopping the scan on it can deadlock the window.
+			if prev.completed {
+				continue
+			}
 			if !w.canReorder(prev, ep) {
 				ok = false
 				break

@@ -1,7 +1,5 @@
 package core
 
-import "fmt"
-
 // WindowStats aggregates a window's lifetime activity; useful for
 // application-level reporting and for the benchmark harness.
 type WindowStats struct {
@@ -25,7 +23,7 @@ func (w *Window) Stats() WindowStats {
 // the window must be complete" requirement.
 func (w *Window) Free() {
 	if w.freed {
-		panic(fmt.Sprintf("core: window %d freed twice on rank %d", w.id, w.rank.ID))
+		w.raisef("window freed twice")
 	}
 	w.Quiesce()
 	w.rank.Barrier()
@@ -42,6 +40,6 @@ func (w *Window) Free() {
 // checkLive panics when the window has been freed.
 func (w *Window) checkLive() {
 	if w.freed {
-		panic(fmt.Sprintf("core: rank %d used window %d after Free", w.rank.ID, w.id))
+		w.raisef("window used after Free")
 	}
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/binary"
-	"fmt"
 	"math"
 )
 
@@ -51,13 +50,13 @@ func (w *Window) applyAcc(off int64, data []byte, size int64, op AccOp, dt DType
 		if data != nil {
 			src = data[i : i+es]
 		}
-		combine(dst, src, op, dt)
+		w.combine(dst, src, op, dt)
 	}
 }
 
 // combine applies dst = dst (op) src for one element. A nil src acts as the
 // operator's identity (shape-only traffic).
-func combine(dst, src []byte, op AccOp, dt DType) {
+func (w *Window) combine(dst, src []byte, op AccOp, dt DType) {
 	if src == nil {
 		return
 	}
@@ -67,11 +66,11 @@ func combine(dst, src []byte, op AccOp, dt DType) {
 	}
 	switch dt {
 	case TByte:
-		dst[0] = combineU64(uint64(dst[0]), uint64(src[0]), op, dt).(byte)
+		dst[0] = w.combineU64(uint64(dst[0]), uint64(src[0]), op, dt).(byte)
 	case TInt64, TUint64:
 		a := binary.LittleEndian.Uint64(dst)
 		b := binary.LittleEndian.Uint64(src)
-		binary.LittleEndian.PutUint64(dst, combineU64(a, b, op, dt).(uint64))
+		binary.LittleEndian.PutUint64(dst, w.combineU64(a, b, op, dt).(uint64))
 	case TFloat64:
 		a := math.Float64frombits(binary.LittleEndian.Uint64(dst))
 		b := math.Float64frombits(binary.LittleEndian.Uint64(src))
@@ -86,7 +85,7 @@ func combine(dst, src []byte, op AccOp, dt DType) {
 		case OpMin:
 			r = math.Min(a, b)
 		default:
-			panic(fmt.Sprintf("core: operator %d not defined for float64", op))
+			w.raisef("operator %d not defined for float64", op)
 		}
 		binary.LittleEndian.PutUint64(dst, math.Float64bits(r))
 	}
@@ -94,7 +93,7 @@ func combine(dst, src []byte, op AccOp, dt DType) {
 
 // combineU64 implements the integer operators; for TInt64 the ordered
 // operators compare as signed values.
-func combineU64(a, b uint64, op AccOp, dt DType) interface{} {
+func (w *Window) combineU64(a, b uint64, op AccOp, dt DType) interface{} {
 	signed := dt == TInt64
 	less := func(x, y uint64) bool {
 		if signed {
@@ -127,7 +126,7 @@ func combineU64(a, b uint64, op AccOp, dt DType) interface{} {
 	case OpBxor:
 		r = a ^ b
 	default:
-		panic(fmt.Sprintf("core: unsupported integer operator %d", op))
+		w.raisef("unsupported integer operator %d", op)
 	}
 	if dt == TByte {
 		return byte(r)

@@ -5,7 +5,13 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/mpi"
 )
+
+// combine binds the element combiner to a scratch window so the table
+// tests below can exercise it without a full runtime.
+var combine = (&Window{rank: &mpi.Rank{}}).combine
 
 func putU64(v uint64) []byte {
 	b := make([]byte, 8)

@@ -1,0 +1,163 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Verify checks every invariant of a finished run and returns the list of
+// violations (empty means the run is clean).
+func Verify(p *Program, mode core.Mode, res *RunResult) []string {
+	if res.Err != nil {
+		return []string{fmt.Sprintf("simulation error: %v", res.Err)}
+	}
+	var problems []string
+	bad := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Final memory must match the sequential oracle.
+	want := Expected(p)
+	for wi := range p.Windows {
+		for r := 0; r < p.NRanks; r++ {
+			got := res.Mems[wi][r]
+			for off := range got {
+				if got[off] != want[wi][r][off] {
+					bad("memory mismatch win %d rank %d off %d: got %#02x want %#02x",
+						wi, r, off, got[off], want[wi][r][off])
+					break // one mismatch per (win, rank) is enough
+				}
+			}
+		}
+	}
+
+	// Epoch accounting, lock-agent end state and the ω-counter algebra.
+	for r := 0; r < p.NRanks; r++ {
+		for wi, win := range res.Wins[r] {
+			if n := win.PendingEpochs(); n != 0 {
+				bad("rank %d win %d: %d epochs still pending after quiescence", r, wi, n)
+			}
+			s := res.Stats[r][wi]
+			if s.EpochsOpened != s.EpochsCompleted {
+				bad("rank %d win %d: %d epochs opened but %d completed",
+					r, wi, s.EpochsOpened, s.EpochsCompleted)
+			}
+			excl, shared, queued := win.LockAgentState()
+			if excl != -1 || shared != 0 || queued != 0 {
+				bad("rank %d win %d: lock agent not clean at end: excl=%d shared=%d queued=%d",
+					r, wi, excl, shared, queued)
+			}
+		}
+	}
+	for wi := range p.Windows {
+		for l := 0; l < p.NRanks; l++ {
+			for r := 0; r < p.NRanks; r++ {
+				lc := res.Wins[l][wi].PeerState(r) // l's counters toward r
+				rc := res.Wins[r][wi].PeerState(l) // r's counters toward l
+				if lc.A != rc.E {
+					bad("win %d: a_%d[%d]=%d but e_%d[%d]=%d (every activated access must match one exposure/grant)",
+						wi, l, r, lc.A, r, l, rc.E)
+				}
+				if lc.G > rc.E {
+					bad("win %d: g_%d[%d]=%d exceeds e_%d[%d]=%d (granted more than ever exposed)",
+						wi, l, r, lc.G, r, l, rc.E)
+				}
+				if rc.DoneRecv > lc.A {
+					bad("win %d: rank %d received done id %d from %d, but only %d accesses were activated",
+						wi, r, rc.DoneRecv, l, lc.A)
+				}
+			}
+		}
+	}
+
+	// Serial-activation legality (deferred-epoch machinery: ModeNew only).
+	if mode == core.ModeNew {
+		problems = append(problems, checkActivations(p, res.Events)...)
+	}
+	return problems
+}
+
+// checkActivations replays the epoch-lifecycle trace and validates every
+// activation against an independent restatement of the Section VI rules: an
+// epoch may activate only when each earlier-opened epoch of its window is
+// already completed, or is itself activated AND the window's reorder flags
+// permit the pair to progress concurrently. Fence and lock-all epochs never
+// reorder.
+func checkActivations(p *Program, events []trace.Event) []string {
+	type key struct {
+		rank int
+		win  int64
+	}
+	type winState struct {
+		class     map[int64]trace.EpochClass
+		activated map[int64]bool
+		completed map[int64]bool
+	}
+	var problems []string
+	states := map[key]*winState{}
+	get := func(k key) *winState {
+		st, ok := states[k]
+		if !ok {
+			st = &winState{
+				class:     map[int64]trace.EpochClass{},
+				activated: map[int64]bool{},
+				completed: map[int64]bool{},
+			}
+			states[k] = st
+		}
+		return st
+	}
+	for _, ev := range events {
+		st := get(key{ev.Rank, ev.Win})
+		switch ev.Kind {
+		case trace.EpochOpen:
+			st.class[ev.Epoch] = ev.Class
+		case trace.EpochActivate:
+			info := p.Windows[int(ev.Win)].Info
+			for seq := int64(0); seq < ev.Epoch; seq++ {
+				cls, opened := st.class[seq]
+				if !opened || st.completed[seq] {
+					continue
+				}
+				switch {
+				case !st.activated[seq]:
+					problems = append(problems, fmt.Sprintf(
+						"rank %d win %d: %s epoch %d activated before earlier %s epoch %d (queue order violated)",
+						ev.Rank, ev.Win, ev.Class, ev.Epoch, cls, seq))
+				case !legalReorder(info, cls, ev.Class):
+					problems = append(problems, fmt.Sprintf(
+						"rank %d win %d: %s epoch %d activated while %s epoch %d is active, but the info flags (%+v) forbid it",
+						ev.Rank, ev.Win, ev.Class, ev.Epoch, cls, seq, info))
+				}
+			}
+			st.activated[ev.Epoch] = true
+		case trace.EpochComplete:
+			st.completed[ev.Epoch] = true
+		}
+	}
+	return problems
+}
+
+// legalReorder restates the Section VI-B predicate from the paper's text,
+// deliberately independent of core's implementation.
+func legalReorder(info core.Info, prev, next trace.EpochClass) bool {
+	excluded := func(c trace.EpochClass) bool {
+		return c == trace.ClassFence || c == trace.ClassLockAll
+	}
+	if excluded(prev) || excluded(next) {
+		return false
+	}
+	access := func(c trace.EpochClass) bool { return c != trace.ClassExposure }
+	switch {
+	case access(prev) && access(next):
+		return info.AAAR
+	case !access(prev) && access(next):
+		return info.AAER
+	case access(prev) && !access(next):
+		return info.EAAR
+	default:
+		return info.EAER
+	}
+}

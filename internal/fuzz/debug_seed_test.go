@@ -1,0 +1,45 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDebugSeed is a manual debugging aid:
+//
+//	FUZZ_DEBUG_SEED=161 go test ./internal/fuzz -run TestDebugSeed -v
+func TestDebugSeed(t *testing.T) {
+	env := os.Getenv("FUZZ_DEBUG_SEED")
+	if env == "" {
+		t.Skip("set FUZZ_DEBUG_SEED to use")
+	}
+	seed, err := strconv.ParseUint(env, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Generate(seed)
+	fmt.Printf("seed %d: %d ranks ppn=%d\n", seed, p.NRanks, p.ProcsPerNode)
+	for wi, ws := range p.Windows {
+		fmt.Printf("win %d: acc=%d slice=%d op=%v dt=%v passive=%v info=%+v\n",
+			wi, ws.AccSize, ws.SliceSz, ws.Op, ws.DT, ws.Passive, ws.Info)
+	}
+	for ri, rd := range p.Rounds {
+		fmt.Printf("round %d: win=%d kind=%d nb=%v origins=%v targets=%v lockT=%v shared=%v member=%v phases=%d\n",
+			ri, rd.Win, rd.Kind, rd.Nonblocking, rd.Origins, rd.Targets, rd.LockTarget, rd.LockShared, rd.Member, rd.Phases)
+		for r, ops := range rd.Ops {
+			for _, o := range ops {
+				fmt.Printf("  rank %d: kind=%d target=%d off=%d size=%d\n", r, o.Kind, o.Target, o.Off, o.Size)
+			}
+		}
+	}
+	res := Execute(p, core.ModeNew)
+	fmt.Printf("err: %v\n", res.Err)
+	for _, ev := range res.Events {
+		fmt.Printf("t=%-8d rank=%d win=%d epoch=%d class=%v kind=%v peer=%d size=%d\n",
+			ev.T, ev.Rank, ev.Win, ev.Epoch, ev.Class, ev.Kind, ev.Peer, ev.Size)
+	}
+}

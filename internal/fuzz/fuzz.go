@@ -1,0 +1,68 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Failure describes one failing (seed, mode) pair with every violated
+// invariant. Seed alone reproduces it.
+type Failure struct {
+	Seed     uint64
+	Mode     core.Mode
+	Problems []string
+}
+
+// String renders the failure with its reproduction recipe.
+func (f Failure) String() string {
+	return fmt.Sprintf("seed=%d mode=%s:\n  %s\n  reproduce: go run ./cmd/fuzz -seed %d -n 1",
+		f.Seed, f.Mode, strings.Join(f.Problems, "\n  "), f.Seed)
+}
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	N     int         // number of programs (consecutive seeds)
+	Seed  uint64      // first seed
+	Modes []core.Mode // modes to run each program under; nil = both
+	// Progress, when non-nil, is called after each program with running
+	// totals (programs done, failures so far).
+	Progress func(done, failures int)
+}
+
+// BothModes is the default mode set.
+var BothModes = []core.Mode{core.ModeNew, core.ModeVanilla}
+
+// CheckSeed generates the program for one seed, executes it under mode and
+// verifies all invariants. nil means the run is clean.
+func CheckSeed(seed uint64, mode core.Mode) *Failure {
+	p := Generate(seed)
+	res := Execute(p, mode)
+	if problems := Verify(p, mode, res); len(problems) > 0 {
+		return &Failure{Seed: seed, Mode: mode, Problems: problems}
+	}
+	return nil
+}
+
+// Campaign runs N consecutive seeds under every requested mode and collects
+// all failures.
+func Campaign(o Options) []Failure {
+	modes := o.Modes
+	if modes == nil {
+		modes = BothModes
+	}
+	var failures []Failure
+	for i := 0; i < o.N; i++ {
+		seed := o.Seed + uint64(i)
+		for _, mode := range modes {
+			if f := CheckSeed(seed, mode); f != nil {
+				failures = append(failures, *f)
+			}
+		}
+		if o.Progress != nil {
+			o.Progress(i+1, len(failures))
+		}
+	}
+	return failures
+}

@@ -1,0 +1,64 @@
+package fuzz
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGenerateDeterministic: the same seed must yield a structurally
+// identical program — reproduction depends on it.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+	}
+}
+
+// TestCampaignSmall runs a modest campaign under both modes; every program
+// must satisfy every invariant.
+func TestCampaignSmall(t *testing.T) {
+	failures := Campaign(Options{N: 30, Seed: 1})
+	for _, f := range failures {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestFlippedReorderCaught plants a bug — inverting the reorder-legality
+// predicate inside the deferred-epoch machinery — and checks that the
+// activation checker detects it within 200 programs. This is the fuzzer's
+// own acceptance test: a mutation in the serial-activation logic must not
+// survive a campaign.
+func TestFlippedReorderCaught(t *testing.T) {
+	core.SetDebugFlipReorder(true)
+	defer core.SetDebugFlipReorder(false)
+	for seed := uint64(1); seed <= 200; seed++ {
+		if f := CheckSeed(seed, core.ModeNew); f != nil {
+			t.Logf("flipped canReorder caught at seed %d:\n%s", seed, f)
+			return
+		}
+	}
+	t.Fatal("flipped canReorder survived 200 programs undetected")
+}
+
+// TestEventBudgetHeadroom: the watchdog budget must sit far above what
+// healthy programs actually consume, or slow-but-correct programs would be
+// reported as livelocked.
+func TestEventBudgetHeadroom(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := Generate(seed)
+		for _, mode := range BothModes {
+			res := Execute(p, mode)
+			if res.Err != nil {
+				t.Fatalf("seed %d mode %s: %v", seed, mode, res.Err)
+			}
+			if budget := eventBudget(p); res.KernelEvents*10 > budget {
+				t.Errorf("seed %d mode %s: used %d kernel events, budget %d gives <10x headroom",
+					seed, mode, res.KernelEvents, budget)
+			}
+		}
+	}
+}

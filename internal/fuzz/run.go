@@ -1,0 +1,210 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RunResult captures everything a run exposes for invariant checking.
+type RunResult struct {
+	Err          error
+	Mems         [][][]byte           // [window][rank] final memory
+	Wins         [][]*core.Window     // [rank][window]
+	Stats        [][]core.WindowStats // [rank][window]
+	Events       []trace.Event
+	KernelEvents uint64
+}
+
+// eventBudget bounds the kernel event count for the watchdog: generously
+// above anything a healthy program of this size needs, so only a livelock
+// (or a deadlock, which the kernel reports on its own) can exhaust it.
+func eventBudget(p *Program) uint64 {
+	return 500_000 + 50_000*uint64(p.NRanks*len(p.Rounds)) + 5_000*uint64(p.OpCount())
+}
+
+// Execute runs the program under the given mode and snapshots the outcome.
+// Deadlocks and livelocks surface in RunResult.Err via the kernel watchdog
+// instead of hanging the process.
+func Execute(p *Program, mode core.Mode) *RunResult {
+	cfg := fabric.DefaultConfig()
+	cfg.ProcsPerNode = p.ProcsPerNode
+	world := mpi.NewWorld(p.NRanks, cfg)
+	world.K.SetWatchdog(eventBudget(p), 0)
+	world.K.EnableDiagnostics()
+	rt := core.NewRuntime(world)
+	rec := trace.NewRecorder()
+	rt.SetTracer(rec)
+
+	res := &RunResult{Wins: make([][]*core.Window, p.NRanks)}
+	// world.Run recovers panics raised in rank bodies, but core can also
+	// raise from NIC/kernel context (e.g. a malformed unlock at a lock
+	// agent); recover those here so a fuzzed bug becomes a reported failure
+	// with its seed instead of a process abort.
+	res.Err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic outside rank context: %v", r)
+			}
+		}()
+		return world.Run(func(r *mpi.Rank) {
+			me := r.ID
+			for _, ws := range p.Windows {
+				win := rt.CreateWindow(r, ws.TotalSize(p.NRanks), core.WinOptions{Mode: mode, Info: ws.Info})
+				res.Wins[me] = append(res.Wins[me], win)
+			}
+			var pending []*mpi.Request
+			for _, rd := range p.Rounds {
+				execRound(p, rd, r, res.Wins[me], mode, &pending)
+			}
+			r.Wait(pending...)
+			for _, win := range res.Wins[me] {
+				win.Quiesce()
+			}
+			r.Barrier()
+		})
+	}()
+
+	res.Events = rec.Events()
+	res.KernelEvents = world.K.Events()
+	if res.Err == nil {
+		res.Mems = make([][][]byte, len(p.Windows))
+		res.Stats = make([][]core.WindowStats, p.NRanks)
+		for wi := range p.Windows {
+			res.Mems[wi] = make([][]byte, p.NRanks)
+			for r := 0; r < p.NRanks; r++ {
+				res.Mems[wi][r] = append([]byte(nil), res.Wins[r][wi].Bytes()...)
+			}
+		}
+		for r := 0; r < p.NRanks; r++ {
+			for _, win := range res.Wins[r] {
+				res.Stats[r] = append(res.Stats[r], win.Stats())
+			}
+		}
+	}
+	return res
+}
+
+func execRound(p *Program, rd Round, r *mpi.Rank, wins []*core.Window, mode core.Mode, pending *[]*mpi.Request) {
+	me := r.ID
+	if d := rd.Compute[me]; d > 0 {
+		r.Compute(sim.Time(d))
+	}
+	win := wins[rd.Win]
+	nb := rd.Nonblocking[me] && mode == core.ModeNew
+
+	switch rd.Kind {
+	case RFence:
+		for ph := 0; ph < rd.Phases; ph++ {
+			if nb {
+				*pending = append(*pending, win.IFence(core.AssertNone))
+			} else {
+				win.Fence(core.AssertNone)
+			}
+			doOps(p, rd.Win, me, rd.PhaseOps[ph][me], win)
+		}
+		if nb {
+			*pending = append(*pending, win.IFence(core.AssertNoSucceed))
+		} else {
+			win.Fence(core.AssertNoSucceed)
+		}
+
+	case RGATS:
+		switch {
+		case contains(rd.Origins, me):
+			if nb {
+				win.IStart(rd.Targets)
+				doOps(p, rd.Win, me, rd.Ops[me], win)
+				*pending = append(*pending, win.IComplete())
+			} else {
+				win.Start(rd.Targets)
+				doOps(p, rd.Win, me, rd.Ops[me], win)
+				win.Complete()
+			}
+		case contains(rd.Targets, me):
+			if nb {
+				win.IPost(rd.Origins)
+				*pending = append(*pending, win.IWait())
+			} else {
+				win.Post(rd.Origins)
+				win.WaitEpoch()
+			}
+		}
+
+	case RLock:
+		t := rd.LockTarget[me]
+		if t < 0 {
+			return
+		}
+		exclusive := !rd.LockShared[me]
+		if nb {
+			win.ILock(t, exclusive)
+			doOps(p, rd.Win, me, rd.Ops[me], win)
+			*pending = append(*pending, win.IUnlock(t))
+		} else {
+			win.Lock(t, exclusive)
+			doOps(p, rd.Win, me, rd.Ops[me], win)
+			win.Unlock(t)
+		}
+
+	case RLockAll:
+		if !rd.Member[me] {
+			return
+		}
+		if nb {
+			win.ILockAll()
+			doOps(p, rd.Win, me, rd.Ops[me], win)
+			*pending = append(*pending, win.IUnlockAll())
+		} else {
+			win.LockAll()
+			doOps(p, rd.Win, me, rd.Ops[me], win)
+			win.UnlockAll()
+		}
+	}
+}
+
+// doOps issues one epoch's generated operations.
+func doOps(p *Program, wi, origin int, ops []OpSpec, win *core.Window) {
+	ws := p.Windows[wi]
+	for _, o := range ops {
+		switch o.Kind {
+		case OpPut:
+			win.Put(o.Target, o.Off, putPayload(wi, origin, o.Off, o.Size), o.Size)
+		case OpGet:
+			win.Get(o.Target, o.Off, make([]byte, o.Size), o.Size)
+		case OpAcc:
+			win.Accumulate(o.Target, o.Off, ws.Op, ws.DT, accPayload(o.Val, o.Size, ws.DT), o.Size)
+		case OpGetAcc:
+			op := ws.Op
+			if o.NoOp {
+				op = core.OpNoOp
+			}
+			win.GetAccumulate(o.Target, o.Off, op, ws.DT,
+				accPayload(o.Val, o.Size, ws.DT), make([]byte, o.Size), o.Size)
+		case OpFAO:
+			win.FetchAndOp(o.Target, o.Off, ws.Op, ws.DT,
+				accPayload(o.Val, o.Size, ws.DT), make([]byte, o.Size))
+		case OpCAS:
+			cmp := make([]byte, 8)
+			if !o.Match {
+				for i := range cmp {
+					cmp[i] = 0xff // slots are single-use and zero-initialized: never matches
+				}
+			}
+			win.CompareAndSwap(o.Target, o.Off, core.TUint64, cmp, casSwap(o.Val), make([]byte, 8))
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -68,6 +68,20 @@ type Kernel struct {
 	procs   []*Proc
 	started bool
 	fail    error // first panic or kernel-level error observed
+
+	// Watchdog state (see SetWatchdog): budgets that turn silent hangs and
+	// livelocks into aborts with a diagnostic report.
+	maxEvents uint64 // 0 = unlimited
+	maxTime   Time   // 0 = unlimited
+	nEvents   uint64
+
+	// diag enables blocking-call-site capture in Proc.park (small per-park
+	// cost, so opt-in via EnableDiagnostics).
+	diag bool
+
+	// diagProviders contribute extra per-proc state (e.g. RMA epoch dumps)
+	// to deadlock and watchdog reports. Only invoked when building a report.
+	diagProviders []func(*Proc) string
 }
 
 // NewKernel returns an empty simulation kernel at virtual time zero.
@@ -129,9 +143,33 @@ func (k *Kernel) switchTo(p *Proc) {
 	<-k.yield
 }
 
+// SetWatchdog arms the kernel's hang protection: the run aborts with a
+// diagnostic report once more than maxEvents events have been processed or
+// once virtual time passes maxTime. Either budget may be zero to disable it.
+// The event budget is what converts a livelock — procs waking each other at
+// the same virtual instant forever, so the queue never drains — into an
+// error instead of a hung `go test`.
+func (k *Kernel) SetWatchdog(maxEvents uint64, maxTime Time) {
+	k.maxEvents = maxEvents
+	k.maxTime = maxTime
+}
+
+// EnableDiagnostics turns on blocking-call-site capture: every Proc.park
+// records a short stack so deadlock reports can point at the application
+// call that blocked. Costs a runtime.Callers per park, so it is opt-in.
+func (k *Kernel) EnableDiagnostics() { k.diag = true }
+
+// AddDiagProvider registers fn to contribute extra state (one string, may be
+// multi-line) about a proc to deadlock/watchdog reports. Providers returning
+// "" are skipped. internal/core registers one that dumps RMA epoch state.
+func (k *Kernel) AddDiagProvider(fn func(*Proc) string) {
+	k.diagProviders = append(k.diagProviders, fn)
+}
+
 // Run executes events until the queue drains. It returns an error if any
-// proc panicked, if an event was scheduled in the past, or if the queue
-// drained while procs were still parked (deadlock).
+// proc panicked, if an event was scheduled in the past, if a watchdog budget
+// was exceeded, or if the queue drained while procs were still parked
+// (deadlock).
 func (k *Kernel) Run() error {
 	if k.started {
 		return fmt.Errorf("sim: kernel already ran")
@@ -140,17 +178,29 @@ func (k *Kernel) Run() error {
 	for len(k.heap) > 0 {
 		e := heap.Pop(&k.heap).(*event)
 		k.now = e.at
+		if k.maxTime > 0 && k.now > k.maxTime {
+			return fmt.Errorf("sim: watchdog: virtual time %d exceeded horizon %d\n%s",
+				k.now, k.maxTime, k.report())
+		}
+		k.nEvents++
+		if k.maxEvents > 0 && k.nEvents > k.maxEvents {
+			return fmt.Errorf("sim: watchdog: event budget %d exhausted at t=%d (possible livelock)\n%s",
+				k.maxEvents, k.now, k.report())
+		}
 		e.fn()
 		if k.fail != nil {
 			return k.fail
 		}
 	}
 	if stuck := k.parked(); len(stuck) > 0 {
-		return fmt.Errorf("sim: deadlock at t=%d: parked procs with empty event queue: %s",
-			k.now, strings.Join(stuck, ", "))
+		return fmt.Errorf("sim: deadlock at t=%d: parked procs with empty event queue: %s\n%s",
+			k.now, strings.Join(stuck, ", "), k.report())
 	}
 	return nil
 }
+
+// Events returns the number of events processed so far.
+func (k *Kernel) Events() uint64 { return k.nEvents }
 
 // parked lists the names of procs that are blocked with no pending wakeup.
 func (k *Kernel) parked() []string {
@@ -162,6 +212,37 @@ func (k *Kernel) parked() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// report builds the per-proc diagnostic block of deadlock/watchdog errors:
+// one section per unfinished proc with its wait tag, the blocking call site
+// (when EnableDiagnostics was set) and any diag-provider state.
+func (k *Kernel) report() string {
+	var b strings.Builder
+	b.WriteString("blocked procs:\n")
+	n := 0
+	for _, p := range k.procs {
+		if p.finished {
+			continue
+		}
+		n++
+		fmt.Fprintf(&b, "  %s: waiting on %q", p.Name, p.waitTag)
+		if site := p.waitSite(); site != "" {
+			fmt.Fprintf(&b, " at %s", site)
+		}
+		b.WriteByte('\n')
+		for _, fn := range k.diagProviders {
+			if d := fn(p); d != "" {
+				for _, line := range strings.Split(strings.TrimRight(d, "\n"), "\n") {
+					fmt.Fprintf(&b, "    %s\n", line)
+				}
+			}
+		}
+	}
+	if n == 0 {
+		b.WriteString("  (none)\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Procs returns all processes ever spawned, in spawn order.

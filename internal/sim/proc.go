@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
 
 // Proc is one simulated process (e.g. an MPI rank). Its body function runs
 // in a dedicated goroutine, but only while the proc holds the kernel's
@@ -13,6 +17,12 @@ type Proc struct {
 	resume   chan struct{}
 	finished bool
 	waitTag  string // human-readable description of what the proc waits on
+
+	// waitPCs holds the program counters captured at the current park when
+	// the kernel runs with diagnostics enabled; formatted lazily by waitSite
+	// only when a report is built.
+	waitPCs  [16]uintptr
+	waitPCsN int
 }
 
 // run is the goroutine entry point. It waits for the first resume, executes
@@ -39,9 +49,48 @@ func (p *Proc) Now() Time { return p.k.now }
 // proc. tag describes the wait for deadlock diagnostics.
 func (p *Proc) park(tag string) {
 	p.waitTag = tag
+	if p.k.diag {
+		p.waitPCsN = runtime.Callers(3, p.waitPCs[:])
+	}
 	p.k.yield <- struct{}{}
 	<-p.resume
 	p.waitTag = ""
+	p.waitPCsN = 0
+}
+
+// waitSite formats the blocking call site captured at the current park: the
+// innermost frames that are neither in this package nor in internal/mpi's
+// wait plumbing, i.e. the application (or RMA-layer) call that blocked.
+// Returns "" when diagnostics are off or the proc is not parked.
+func (p *Proc) waitSite() string {
+	if p.waitPCsN == 0 {
+		return ""
+	}
+	frames := runtime.CallersFrames(p.waitPCs[:p.waitPCsN])
+	var sites []string
+	for {
+		f, more := frames.Next()
+		inSim := strings.Contains(f.File, "internal/sim/") && !strings.HasSuffix(f.File, "_test.go")
+		if f.File != "" && !inSim && !strings.Contains(f.Function, "runtime.") {
+			sites = append(sites, fmt.Sprintf("%s:%d", trimPath(f.File), f.Line))
+			if len(sites) == 3 {
+				break
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	return strings.Join(sites, " <- ")
+}
+
+// trimPath shortens an absolute source path to its last three elements.
+func trimPath(file string) string {
+	parts := strings.Split(file, "/")
+	if len(parts) > 3 {
+		parts = parts[len(parts)-3:]
+	}
+	return strings.Join(parts, "/")
 }
 
 // Sleep advances this proc's virtual time by d without consuming CPU-model
