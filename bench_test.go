@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/par"
 )
 
 // benchIters is the per-measurement averaging used inside benchmarks (the
@@ -144,5 +145,28 @@ func BenchmarkLatencyParity(b *testing.B) {
 		t := bench.LatencyParity(benchIters, 1<<20)
 		b.ReportMetric(t.Get("GATS", "New nonblocking"), "vt_nb_gats_us")
 		b.ReportMetric(t.Get("GATS", "MVAPICH"), "vt_mvapich_gats_us")
+	}
+}
+
+// regenSample is a fixed figure set used by the harness-speedup benchmarks
+// below: the same simulations fan out over the worker pool (parallel) or
+// run inline (serial), with byte-identical results either way.
+func regenSample() {
+	bench.Fig2LatePost(benchIters)
+	bench.Fig6LateUnlock(benchIters)
+	bench.Fig7AAARGats(benchIters)
+}
+
+func BenchmarkFigureRegenSerial(b *testing.B) {
+	par.SetWorkers(1)
+	defer par.SetWorkers(0)
+	for i := 0; i < b.N; i++ {
+		regenSample()
+	}
+}
+
+func BenchmarkFigureRegenParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		regenSample()
 	}
 }

@@ -14,7 +14,10 @@ func main() {
 	n := flag.Int("n", 32, "job size for the transaction-based ablations")
 	epochs := flag.Int("epochs", 64, "transactions per rank")
 	iters := flag.Int("iters", 5, "iterations for the latency ablation")
+	pf := bench.RegisterFlags()
 	flag.Parse()
+	stop := pf.Start()
+	defer stop()
 
 	fmt.Println(bench.AblationTriggeredOps(*iters))
 	fmt.Println(bench.AblationPipelineDepth(*n, []int{1, 2, 4, 8, 16, 32, 64}, *epochs))

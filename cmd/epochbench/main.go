@@ -7,6 +7,8 @@
 //	epochbench                 # all microbenchmark figures
 //	epochbench -fig 6          # one figure
 //	epochbench -iters 100      # paper-style 100-iteration averaging
+//	epochbench -workers 1      # serial (output is identical at any count)
+//	epochbench -cpuprofile cpu.out -memprofile mem.out -trace trace.out
 package main
 
 import (
@@ -20,7 +22,10 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure to run (2-11); 0 = all, plus the VIII-A tables")
 	iters := flag.Int("iters", 10, "iterations to average per measurement")
+	pf := bench.RegisterFlags()
 	flag.Parse()
+	stop := pf.Start()
+	defer stop()
 
 	type exp struct {
 		id  int
@@ -54,6 +59,7 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "epochbench: unknown figure %d (valid: 2-11)\n", *fig)
+		stop()
 		os.Exit(2)
 	}
 }

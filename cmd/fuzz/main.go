@@ -5,10 +5,16 @@
 // with a reproduction command; the process exits nonzero if any program
 // fails.
 //
+// Seeds are independent simulations, so the campaign fans them across
+// -workers goroutines (default GOMAXPROCS) for near-linear throughput;
+// results are still reported in seed order, so the transcript — and every
+// failure — is identical at any worker count.
+//
 // Usage:
 //
 //	go run ./cmd/fuzz -n 200 -seed 1
-//	go run ./cmd/fuzz -seed 1234 -n 1 -v   # replay one seed verbosely
+//	go run ./cmd/fuzz -n 2000 -workers 8     # large campaign, 8 cores
+//	go run ./cmd/fuzz -seed 1234 -n 1 -v     # replay one seed verbosely
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/fuzz"
 )
@@ -25,7 +32,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "first seed")
 	mode := flag.String("mode", "both", "modes to run: both, new or vanilla")
 	verbose := flag.Bool("v", false, "describe each program as it runs")
+	pf := bench.RegisterFlags()
 	flag.Parse()
+	stop := pf.Start()
 
 	var modes []core.Mode
 	switch *mode {
@@ -37,31 +46,36 @@ func main() {
 		modes = []core.Mode{core.ModeVanilla}
 	default:
 		fmt.Fprintf(os.Stderr, "fuzz: unknown -mode %q (want both, new or vanilla)\n", *mode)
+		stop()
 		os.Exit(2)
 	}
 
-	var failures []fuzz.Failure
-	for i := 0; i < *n; i++ {
-		s := *seed + uint64(i)
-		p := fuzz.Generate(s)
-		if *verbose {
-			fmt.Printf("seed %d: %d ranks (%d per node), %d windows, %d rounds, %d ops\n",
-				s, p.NRanks, p.ProcsPerNode, len(p.Windows), len(p.Rounds), p.OpCount())
-		}
-		for _, m := range modes {
-			if f := fuzz.CheckSeed(s, m); f != nil {
-				failures = append(failures, *f)
+	failures := fuzz.Campaign(fuzz.Options{
+		N:     *n,
+		Seed:  *seed,
+		Modes: modes,
+		Report: func(s uint64, fs []fuzz.Failure) {
+			if *verbose {
+				p := fuzz.Generate(s)
+				fmt.Printf("seed %d: %d ranks (%d per node), %d windows, %d rounds, %d ops\n",
+					s, p.NRanks, p.ProcsPerNode, len(p.Windows), len(p.Rounds), p.OpCount())
+			}
+			for _, f := range fs {
 				fmt.Printf("FAIL %s\n", f)
 			}
-		}
-		if !*verbose && (i+1)%50 == 0 {
-			fmt.Printf("%d/%d programs checked, %d failures\n", i+1, *n, len(failures))
-		}
-	}
+		},
+		Progress: func(done, failed int) {
+			if !*verbose && done%50 == 0 {
+				fmt.Printf("%d/%d programs checked, %d failures\n", done, *n, failed)
+			}
+		},
+	})
 
 	if len(failures) > 0 {
 		fmt.Printf("FAIL: %d of %d programs violated invariants\n", len(failures), *n)
+		stop()
 		os.Exit(1)
 	}
 	fmt.Printf("ok: %d programs x %d mode(s), all invariants held\n", *n, len(modes))
+	stop()
 }

@@ -20,7 +20,10 @@ func main() {
 	sizesFlag := flag.String("sizes", "64,128,256,512,1024,2048", "comma-separated job sizes")
 	matricesFlag := flag.String("m", "2048,4096", "comma-separated matrix dimensions")
 	flop := flag.Float64("flopns", 20, "modeled nanoseconds per row-element update")
+	pf := bench.RegisterFlags()
 	flag.Parse()
+	stop := pf.Start()
+	defer stop()
 
 	parse := func(s string) []int {
 		var out []int

@@ -1,0 +1,104 @@
+// Command perfgate is the CI performance-regression gate. It runs the
+// kernel/fabric/figure performance suite (bench.MeasureKernelPerf), prints
+// the results as JSON, and — when a committed baseline is given — fails the
+// build if throughput regressed beyond the tolerance or if a zero-allocation
+// budget was broken.
+//
+// Usage:
+//
+//	go run ./cmd/perfgate -baseline results/BENCH_kernel.json
+//	go run ./cmd/perfgate -out BENCH_kernel.json            # measure only
+//	go run ./cmd/perfgate -baseline results/BENCH_kernel.json -update
+//
+// Throughput numbers are wall-clock dependent, so the gate compares ratios
+// (default: fail below 80% of baseline) rather than absolute values, and
+// the baseline should be refreshed (-update) when the suite or the hardware
+// class changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "", "write the measured results to `file`")
+	baseline := flag.String("baseline", "", "compare against the baseline JSON in `file`")
+	maxReg := flag.Float64("max-regression", 0.20, "maximum tolerated fractional throughput regression")
+	update := flag.Bool("update", false, "rewrite the baseline file with the new measurement")
+	pf := bench.RegisterFlags()
+	flag.Parse()
+	stop := pf.Start()
+
+	cur := bench.MeasureKernelPerf()
+	enc, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		fatal(stop, "perfgate: %v", err)
+	}
+	enc = append(enc, '\n')
+	fmt.Printf("%s", enc)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(stop, "perfgate: %v", err)
+		}
+	}
+
+	if *baseline != "" && *update {
+		if err := os.WriteFile(*baseline, enc, 0o644); err != nil {
+			fatal(stop, "perfgate: %v", err)
+		}
+		fmt.Printf("perfgate: baseline %s updated\n", *baseline)
+		stop()
+		return
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(stop, "perfgate: %v", err)
+		}
+		var base bench.KernelPerf
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(stop, "perfgate: bad baseline %s: %v", *baseline, err)
+		}
+		failed := false
+		check := func(name string, baseV, curV float64) {
+			if baseV <= 0 {
+				return
+			}
+			ratio := curV / baseV
+			status := "ok"
+			if ratio < 1-*maxReg {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("perfgate: %-22s baseline %14.0f current %14.0f (%.0f%%) %s\n",
+				name, baseV, curV, ratio*100, status)
+		}
+		check("kernel events/sec", base.KernelEventsPerSec, cur.KernelEventsPerSec)
+		check("fabric packets/sec", base.FabricPacketsPerSec, cur.FabricPacketsPerSec)
+		budget := func(name string, v float64) {
+			if v > 0 {
+				fmt.Printf("perfgate: %-22s %.3f allocs, want 0 BUDGET-BROKEN\n", name, v)
+				failed = true
+			}
+		}
+		budget("kernel allocs/event", cur.KernelAllocsPerEvent)
+		budget("fabric allocs/packet", cur.FabricAllocsPerPacket)
+		if failed {
+			fatal(stop, "perfgate: FAIL (tolerance %.0f%%)", *maxReg*100)
+		}
+		fmt.Println("perfgate: PASS")
+	}
+	stop()
+}
+
+func fatal(stop func(), format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	stop()
+	os.Exit(1)
+}

@@ -17,7 +17,10 @@ func main() {
 	epochs := flag.Int("epochs", 96, "transactions per rank")
 	depth := flag.Int("depth", 24, "nonblocking pipeline depth")
 	credits := flag.Bool("credit-ceiling", true, "apply the 512-core flow-control ceiling (paper's InfiniBand issue)")
+	pf := bench.RegisterFlags()
 	flag.Parse()
+	stop := pf.Start()
+	defer stop()
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesFlag, ",") {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -28,7 +29,8 @@ import (
 func AblationTriggeredOps(iters int) *stats.Table {
 	t := stats.NewTable("Ablation: grant-triggered NIC issue (Fig 3 setting, nonblocking close)",
 		"us", "variant", []string{"triggered ops", "engine-only issue"}, []string{"target epoch"})
-	for _, noTrig := range []bool{false, true} {
+	res := par.Map(2, func(i int) float64 {
+		noTrig := i == 1
 		var dS []sim.Time
 		runWorld(2, Config(), func(r *mpi.Rank, rt *core.Runtime) {
 			win := rt.CreateWindow(r, BigMsg, core.WinOptions{
@@ -51,12 +53,10 @@ func AblationTriggeredOps(iters int) *stats.Table {
 			}
 			win.Quiesce()
 		})
-		row := "triggered ops"
-		if noTrig {
-			row = "engine-only issue"
-		}
-		t.Set(row, "target epoch", mean(dS))
-	}
+		return mean(dS)
+	})
+	t.Set("triggered ops", "target epoch", res[0])
+	t.Set("engine-only issue", "target epoch", res[1])
 	return t
 }
 
@@ -69,9 +69,12 @@ func AblationPipelineDepth(n int, depths []int, epochsPerRank int) *stats.Table 
 	}
 	t := stats.NewTable(fmt.Sprintf("Ablation: pipeline depth (transactions, %d ranks, A_A_A_R)", n),
 		"thousands of transactions/s", "depth", rows, []string{"throughput"})
-	for _, d := range depths {
-		p := TxnParams{EpochsPerRank: epochsPerRank, PipelineDepth: d, Seed: 0x5eed}
-		t.Set(fmt.Sprintf("%d", d), "throughput", RunTxn(n, TxnNewNBAAAR, p))
+	res := par.Map(len(depths), func(i int) float64 {
+		p := TxnParams{EpochsPerRank: epochsPerRank, PipelineDepth: depths[i], Seed: 0x5eed}
+		return RunTxn(n, TxnNewNBAAAR, p)
+	})
+	for i, d := range depths {
+		t.Set(fmt.Sprintf("%d", d), "throughput", res[i])
 	}
 	return t
 }
@@ -86,11 +89,13 @@ func AblationCredits(n int, credits []int, epochsPerRank int) *stats.Table {
 	}
 	t := stats.NewTable(fmt.Sprintf("Ablation: flow-control credits per peer (transactions, %d ranks, A_A_A_R)", n),
 		"thousands of transactions/s", "credits", rows, []string{"throughput"})
-	for _, c := range credits {
+	res := par.Map(len(credits), func(i int) float64 {
 		cfg := Config()
-		cfg.CreditsPerPeer = c
-		t.Set(fmt.Sprintf("%d", c), "throughput",
-			runTxnWithConfig(n, cfg, 24, epochsPerRank))
+		cfg.CreditsPerPeer = credits[i]
+		return runTxnWithConfig(n, cfg, 24, epochsPerRank)
+	})
+	for i, c := range credits {
+		t.Set(fmt.Sprintf("%d", c), "throughput", res[i])
 	}
 	return t
 }
@@ -106,12 +111,16 @@ func AblationCallOverhead(n int, overheadsNs []int64, epochsPerRank int) *stats.
 	}
 	t := stats.NewTable(fmt.Sprintf("Ablation: per-call CPU overhead (transactions, %d ranks)", n),
 		"thousands of transactions/s", "overhead", rows, []string{"New", "New nonblocking"})
-	for _, o := range overheadsNs {
+	series := []TxnSeries{TxnNew, TxnNewNB}
+	cells := gridCell(len(overheadsNs), len(series), func(oi, si int) float64 {
 		cfg := Config()
-		cfg.CallOverhead = o
+		cfg.CallOverhead = overheadsNs[oi]
+		return runTxnSeriesWithConfig(n, cfg, series[si], 24, epochsPerRank)
+	})
+	for oi, o := range overheadsNs {
 		row := fmt.Sprintf("%dns", o)
-		t.Set(row, "New", runTxnSeriesWithConfig(n, cfg, TxnNew, 24, epochsPerRank))
-		t.Set(row, "New nonblocking", runTxnSeriesWithConfig(n, cfg, TxnNewNB, 24, epochsPerRank))
+		t.Set(row, "New", cells[oi][0])
+		t.Set(row, "New nonblocking", cells[oi][1])
 	}
 	return t
 }

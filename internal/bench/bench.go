@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -81,6 +82,22 @@ func runWorld(n int, cfg fabric.Config, body func(r *mpi.Rank, rt *core.Runtime)
 	if err := w.Run(func(r *mpi.Rank) { body(r, rt) }); err != nil {
 		panic(fmt.Sprintf("bench: simulation failed: %v", err))
 	}
+}
+
+// gridCell fans the |rows| x |cols| measurement grid of one figure across
+// the parallel harness: every cell is an independent simulation, so cells
+// run on par.Workers() CPUs while the returned values — and therefore the
+// rendered table — stay bit-for-bit identical to a serial sweep. cell must
+// not touch shared state.
+func gridCell(rows, cols int, cell func(row, col int) float64) [][]float64 {
+	flat := par.Map(rows*cols, func(j int) float64 {
+		return cell(j/cols, j%cols)
+	})
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols]
+	}
+	return out
 }
 
 // mean averages a sample of virtual durations into microseconds.

@@ -1,226 +1,90 @@
 package bench
 
 import (
-	"repro/internal/core"
-	"repro/internal/mpi"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+
+	"repro/internal/par"
 )
 
-// Figures 7-11: progress-engine optimization flags (Section VI-B). All
-// tests use nonblocking synchronizations only, with the flag off and on;
-// every epoch hosts a single 1 MB put and each subsequent epoch in a
-// process is opened after the previous one is closed at application level.
-
-const (
-	flagOff = "flag off"
-	flagOn  = "flag on"
-)
-
-func flagTable(title string, rows []string) *stats.Table {
-	return stats.NewTable(title, "us", "measure", rows, []string{flagOff, flagOn})
+// Flags bundles the profiling and parallelism flags shared by every binary
+// in cmd/. Register them before flag.Parse, then Start after:
+//
+//	pf := bench.RegisterFlags()
+//	flag.Parse()
+//	stop := pf.Start()
+//	defer stop()
+//
+// Start applies -workers process-wide and begins any requested profiles;
+// the returned stop flushes them. Binaries that exit through os.Exit must
+// call stop explicitly first (deferred calls do not run through os.Exit).
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	Workers    int
 }
 
-func flagCol(on bool) string {
-	if on {
-		return flagOn
+// RegisterFlags registers -cpuprofile, -memprofile, -trace and -workers on
+// the default flag set.
+func RegisterFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	flag.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to `file`")
+	flag.IntVar(&f.Workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	return f
+}
+
+// Start applies the parsed flags and returns the flush function.
+func (f *Flags) Start() (stop func()) {
+	par.SetWorkers(f.Workers)
+	var cpuF, traceF *os.File
+	if f.CPUProfile != "" {
+		cpuF = mustCreate(f.CPUProfile)
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			fatalf("start CPU profile: %v", err)
+		}
 	}
-	return flagOff
-}
-
-// Fig7AAARGats: single origin, two targets; T0's exposure is 1000 us late.
-// With A_A_A_R the second access epoch progresses out of order, so T1 does
-// not inherit T0's delay and the origin overlaps the delay with its second
-// epoch.
-func Fig7AAARGats(iters int) *stats.Table {
-	t := flagTable("Fig 7: out-of-order GATS access epochs with A_A_A_R", []string{"target T1", "origin cumulative"})
-	for _, on := range []bool{false, true} {
-		var t1S, cumS []sim.Time
-		runWorld(3, Config(), func(r *mpi.Rank, rt *core.Runtime) {
-			win := rt.CreateWindow(r, BigMsg, core.WinOptions{Mode: core.ModeNew, ShapeOnly: true, Info: core.Info{AAAR: on}})
-			for it := 0; it < iters; it++ {
-				r.Barrier()
-				t0 := r.Now()
-				switch r.ID {
-				case 0: // origin: two back-to-back access epochs
-					win.IStart([]int{1})
-					win.Put(1, 0, nil, BigMsg)
-					r1 := win.IComplete()
-					win.IStart([]int{2})
-					win.Put(2, 0, nil, BigMsg)
-					r2 := win.IComplete()
-					r.Wait(r1, r2)
-					cumS = append(cumS, r.Now()-t0)
-				case 1: // T0, late
-					r.Compute(Delay)
-					win.Post([]int{0})
-					win.WaitEpoch()
-				case 2: // T1
-					win.Post([]int{0})
-					win.WaitEpoch()
-					t1S = append(t1S, r.Now()-t0)
-				}
+	if f.Trace != "" {
+		traceF = mustCreate(f.Trace)
+		if err := trace.Start(traceF); err != nil {
+			fatalf("start execution trace: %v", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if f.MemProfile != "" {
+			memF := mustCreate(f.MemProfile)
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(memF); err != nil {
+				fatalf("write heap profile: %v", err)
 			}
-			win.Quiesce()
-		})
-		t.Set("target T1", flagCol(on), mean(t1S))
-		t.Set("origin cumulative", flagCol(on), mean(cumS))
+			memF.Close()
+		}
 	}
-	return t
 }
 
-// Fig8AAARLock: O1 queues behind O0 on T0's exclusive lock, then locks T1.
-// With A_A_A_R, O1's second epoch completes while the first is still
-// waiting for O0's 1000 us of in-epoch work.
-func Fig8AAARLock(iters int) *stats.Table {
-	t := flagTable("Fig 8: out-of-order lock epochs with A_A_A_R", []string{"O1 cumulative"})
-	for _, on := range []bool{false, true} {
-		var cumS []sim.Time
-		runWorld(4, Config(), func(r *mpi.Rank, rt *core.Runtime) {
-			win := rt.CreateWindow(r, BigMsg, core.WinOptions{Mode: core.ModeNew, ShapeOnly: true, Info: core.Info{AAAR: on}})
-			for it := 0; it < iters; it++ {
-				r.Barrier()
-				switch r.ID {
-				case 0: // O0: holds T0's lock through 1000 us of work
-					win.ILock(2, true)
-					win.Put(2, 0, nil, BigMsg)
-					r.Compute(Delay)
-					r.Wait(win.IUnlock(2))
-				case 1: // O1: lock T0 (queued), then lock T1
-					r.Compute(50 * sim.Microsecond)
-					t0 := r.Now()
-					win.ILock(2, true)
-					win.Put(2, 0, nil, BigMsg)
-					q1 := win.IUnlock(2)
-					win.ILock(3, true)
-					win.Put(3, 0, nil, BigMsg)
-					q2 := win.IUnlock(3)
-					r.Wait(q1, q2)
-					cumS = append(cumS, r.Now()-t0)
-				}
-				r.Barrier()
-			}
-			win.Quiesce()
-		})
-		t.Set("O1 cumulative", flagCol(on), mean(cumS))
+func mustCreate(path string) *os.File {
+	file, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	return t
+	return file
 }
 
-// Fig9AAER: P2 is a target for late P0 and then an origin for P1. With
-// A_A_E_R, P2's access epoch progresses past its still-active exposure, so
-// P1 avoids the transitive delay.
-func Fig9AAER(iters int) *stats.Table {
-	t := flagTable("Fig 9: out-of-order GATS epochs with A_A_E_R", []string{"target P1", "P2 cumulative"})
-	for _, on := range []bool{false, true} {
-		var p1S, cumS []sim.Time
-		runWorld(3, Config(), func(r *mpi.Rank, rt *core.Runtime) {
-			win := rt.CreateWindow(r, BigMsg, core.WinOptions{Mode: core.ModeNew, ShapeOnly: true, Info: core.Info{AAER: on}})
-			for it := 0; it < iters; it++ {
-				r.Barrier()
-				t0 := r.Now()
-				switch r.ID {
-				case 0: // late origin toward P2
-					r.Compute(Delay)
-					win.IStart([]int{2})
-					win.Put(2, 0, nil, BigMsg)
-					r.Wait(win.IComplete())
-				case 1: // final target
-					win.Post([]int{2})
-					win.WaitEpoch()
-					p1S = append(p1S, r.Now()-t0)
-				case 2: // target first, then origin
-					win.IPost([]int{0})
-					rq1 := win.IWait()
-					win.IStart([]int{1})
-					win.Put(1, 0, nil, BigMsg)
-					rq2 := win.IComplete()
-					r.Wait(rq1, rq2)
-					cumS = append(cumS, r.Now()-t0)
-				}
-			}
-			win.Quiesce()
-		})
-		t.Set("target P1", flagCol(on), mean(p1S))
-		t.Set("P2 cumulative", flagCol(on), mean(cumS))
-	}
-	return t
-}
-
-// Fig10EAER: a target exposes to late O0 and then to O1. With E_A_E_R the
-// second exposure progresses out of order, so O1 avoids O0's delay.
-func Fig10EAER(iters int) *stats.Table {
-	t := flagTable("Fig 10: out-of-order exposure epochs with E_A_E_R", []string{"origin O1", "target cumulative"})
-	for _, on := range []bool{false, true} {
-		var o1S, cumS []sim.Time
-		runWorld(3, Config(), func(r *mpi.Rank, rt *core.Runtime) {
-			win := rt.CreateWindow(r, BigMsg, core.WinOptions{Mode: core.ModeNew, ShapeOnly: true, Info: core.Info{EAER: on}})
-			for it := 0; it < iters; it++ {
-				r.Barrier()
-				t0 := r.Now()
-				switch r.ID {
-				case 0: // target with two exposures
-					win.IPost([]int{1})
-					rq1 := win.IWait()
-					win.IPost([]int{2})
-					rq2 := win.IWait()
-					r.Wait(rq1, rq2)
-					cumS = append(cumS, r.Now()-t0)
-				case 1: // O0, late
-					r.Compute(Delay)
-					win.IStart([]int{0})
-					win.Put(0, 0, nil, BigMsg)
-					r.Wait(win.IComplete())
-				case 2: // O1
-					win.IStart([]int{0})
-					win.Put(0, 0, nil, BigMsg)
-					r.Wait(win.IComplete())
-					o1S = append(o1S, r.Now()-t0)
-				}
-			}
-			win.Quiesce()
-		})
-		t.Set("origin O1", flagCol(on), mean(o1S))
-		t.Set("target cumulative", flagCol(on), mean(cumS))
-	}
-	return t
-}
-
-// Fig11EAAR: P2 is an origin toward late P0 and then a target for P1. With
-// E_A_A_R, P2's exposure progresses past its still-active access epoch.
-func Fig11EAAR(iters int) *stats.Table {
-	t := flagTable("Fig 11: out-of-order GATS epochs with E_A_A_R", []string{"origin P1", "P2 cumulative"})
-	for _, on := range []bool{false, true} {
-		var p1S, cumS []sim.Time
-		runWorld(3, Config(), func(r *mpi.Rank, rt *core.Runtime) {
-			win := rt.CreateWindow(r, BigMsg, core.WinOptions{Mode: core.ModeNew, ShapeOnly: true, Info: core.Info{EAAR: on}})
-			for it := 0; it < iters; it++ {
-				r.Barrier()
-				t0 := r.Now()
-				switch r.ID {
-				case 0: // late target of P2's access epoch
-					r.Compute(Delay)
-					win.Post([]int{2})
-					win.WaitEpoch()
-				case 1: // origin toward P2
-					win.IStart([]int{2})
-					win.Put(2, 0, nil, BigMsg)
-					r.Wait(win.IComplete())
-					p1S = append(p1S, r.Now()-t0)
-				case 2: // origin first, then target
-					win.IStart([]int{0})
-					win.Put(0, 0, nil, BigMsg)
-					rq1 := win.IComplete()
-					win.IPost([]int{1})
-					rq2 := win.IWait()
-					r.Wait(rq1, rq2)
-					cumS = append(cumS, r.Now()-t0)
-				}
-			}
-			win.Quiesce()
-		})
-		t.Set("origin P1", flagCol(on), mean(p1S))
-		t.Set("P2 cumulative", flagCol(on), mean(cumS))
-	}
-	return t
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "profiling: "+format+"\n", args...)
+	os.Exit(2)
 }

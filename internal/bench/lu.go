@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -58,9 +59,12 @@ func Fig13LU(sizes []int, p LUParams) (timeTable, commTable *stats.Table) {
 	title := fmt.Sprintf("Fig 13: LU decomposition, matrix %dx%d", p.M, p.M)
 	timeTable = stats.NewTable(title+" - overall time", "s", "processes", rows, cols)
 	commTable = stats.NewTable(title+" - communication time", "% of overall", "processes", rows, cols)
-	for _, n := range sizes {
-		for _, s := range AllSeries {
-			res := RunLU(n, s, p)
+	results := par.Map(len(sizes)*len(AllSeries), func(j int) LUResult {
+		return RunLU(sizes[j/len(AllSeries)], AllSeries[j%len(AllSeries)], p)
+	})
+	for ni, n := range sizes {
+		for si, s := range AllSeries {
+			res := results[ni*len(AllSeries)+si]
 			timeTable.Set(fmt.Sprintf("%d", n), s.String(), res.PerRankS)
 			commTable.Set(fmt.Sprintf("%d", n), s.String(), res.CommPct)
 		}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// The tentpole guarantee of the parallel harness: fanning independent
+// simulations across workers must not change a single byte of any rendered
+// figure. This renders one figure of every fan-out shape the harness uses
+// (row map, grid, flag pair, two-table LU, depth sweep) serially and with
+// four workers and compares the rendered text.
+
+func renderFigureSample(iters int) string {
+	txn := TxnParams{EpochsPerRank: 8, PipelineDepth: 4, Seed: 0x5eed}
+	tt, ct := Fig13LU([]int{2, 4}, LUParams{M: 64, FlopNs: 20})
+	return Fig2LatePost(iters).String() +
+		Fig7AAARGats(iters).String() +
+		Fig12Transactions([]int{4, 8}, txn).String() +
+		tt.String() + ct.String() +
+		AblationPipelineDepth(8, []int{1, 4}, 16).String()
+}
+
+func TestParallelFiguresMatchSerial(t *testing.T) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(1)
+	serial := renderFigureSample(2)
+	par.SetWorkers(4)
+	parallel := renderFigureSample(2)
+	if serial != parallel {
+		t.Fatalf("figure output differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -23,11 +24,14 @@ func Fig2LatePost(iters int) *stats.Table {
 		cols[i] = s.String()
 	}
 	t := stats.NewTable("Fig 2: Late Post - delay propagation in an origin process", "us", "activity", rows, cols)
-	for _, s := range AllSeries {
-		access, two, cum := fig2Series(s, iters)
-		t.Set("access epoch", s.String(), access)
-		t.Set("two-sided", s.String(), two)
-		t.Set("cumulative", s.String(), cum)
+	res := par.Map(len(AllSeries), func(i int) [3]float64 {
+		access, two, cum := fig2Series(AllSeries[i], iters)
+		return [3]float64{access, two, cum}
+	})
+	for i, s := range AllSeries {
+		t.Set("access epoch", s.String(), res[i][0])
+		t.Set("two-sided", s.String(), res[i][1])
+		t.Set("cumulative", s.String(), res[i][2])
 	}
 	return t
 }
@@ -91,9 +95,12 @@ func Fig3LateComplete(iters int, sizes []int64) *stats.Table {
 		cols[i] = s.String()
 	}
 	t := stats.NewTable("Fig 3: Late Complete - target-side epoch length", "us", "size", rows, cols)
-	for _, s := range AllSeries {
-		for _, size := range sizes {
-			t.Set(sizeLabel(size), s.String(), fig3Series(s, iters, size))
+	cells := gridCell(len(AllSeries), len(sizes), func(si, zi int) float64 {
+		return fig3Series(AllSeries[si], iters, sizes[zi])
+	})
+	for si, s := range AllSeries {
+		for zi, size := range sizes {
+			t.Set(sizeLabel(size), s.String(), cells[si][zi])
 		}
 	}
 	return t
@@ -146,9 +153,12 @@ func Fig4EarlyFence(iters int) *stats.Table {
 		cols[i] = s.String()
 	}
 	t := stats.NewTable("Fig 4: Early Fence - cumulative epoch + subsequent work at target", "us", "size", rows, cols)
-	for _, s := range AllSeries {
-		for _, size := range sizes {
-			t.Set(sizeLabel(size), s.String(), fig4Series(s, iters, size))
+	cells := gridCell(len(AllSeries), len(sizes), func(si, zi int) float64 {
+		return fig4Series(AllSeries[si], iters, sizes[zi])
+	})
+	for si, s := range AllSeries {
+		for zi, size := range sizes {
+			t.Set(sizeLabel(size), s.String(), cells[si][zi])
 		}
 	}
 	return t
@@ -204,9 +214,12 @@ func Fig5WaitAtFence(iters int, sizes []int64) *stats.Table {
 		cols[i] = s.String()
 	}
 	t := stats.NewTable("Fig 5: Wait at Fence - target-side epoch length", "us", "size", rows, cols)
-	for _, s := range AllSeries {
-		for _, size := range sizes {
-			t.Set(sizeLabel(size), s.String(), fig5Series(s, iters, size))
+	cells := gridCell(len(AllSeries), len(sizes), func(si, zi int) float64 {
+		return fig5Series(AllSeries[si], iters, sizes[zi])
+	})
+	for si, s := range AllSeries {
+		for zi, size := range sizes {
+			t.Set(sizeLabel(size), s.String(), cells[si][zi])
 		}
 	}
 	return t
@@ -260,10 +273,13 @@ func Fig6LateUnlock(iters int) *stats.Table {
 		cols[i] = s.String()
 	}
 	t := stats.NewTable("Fig 6: Late Unlock - delay propagation to a subsequent lock requester", "us", "epoch", rows, cols)
-	for _, s := range AllSeries {
-		first, second := fig6Series(s, iters)
-		t.Set("first lock (O0)", s.String(), first)
-		t.Set("second lock (O1)", s.String(), second)
+	res := par.Map(len(AllSeries), func(i int) [2]float64 {
+		first, second := fig6Series(AllSeries[i], iters)
+		return [2]float64{first, second}
+	})
+	for i, s := range AllSeries {
+		t.Set("first lock (O0)", s.String(), res[i][0])
+		t.Set("second lock (O1)", s.String(), res[i][1])
 	}
 	return t
 }

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// KernelPerf is the machine-readable result of the performance suite behind
+// the CI regression gate (cmd/perfgate, results/BENCH_kernel.json). The
+// throughput fields are wall-clock dependent and compared with a tolerance;
+// the allocation fields are exact budgets and must stay at zero.
+type KernelPerf struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+
+	// KernelEventsPerSec is the event-scheduling hot path: a self-
+	// rescheduling event chain, so each event costs one push, one pop and
+	// one dispatch.
+	KernelEventsPerSec   float64 `json:"kernel_events_per_sec"`
+	KernelAllocsPerEvent float64 `json:"kernel_allocs_per_event"`
+
+	// FabricPacketsPerSec pumps pooled packets through the full NIC
+	// pipeline: enqueue, wire occupancy, delivery, credit return.
+	FabricPacketsPerSec   float64 `json:"fabric_packets_per_sec"`
+	FabricAllocsPerPacket float64 `json:"fabric_allocs_per_packet"`
+
+	// FigureRegenMs regenerates a fixed figure sample with the configured
+	// worker count; FigureRegenSerialMs is the same sample with one worker.
+	FigureRegenMs       float64 `json:"figure_regen_ms"`
+	FigureRegenSerialMs float64 `json:"figure_regen_serial_ms"`
+}
+
+// perfChain is the self-rescheduling event used by the kernel throughput
+// measurement (the same shape as internal/sim's BenchmarkEventChain).
+type perfChain struct {
+	k    *sim.Kernel
+	left int
+}
+
+func perfChainStep(x any) {
+	c := x.(*perfChain)
+	c.left--
+	if c.left > 0 {
+		c.k.AfterCall(1, perfChainStep, c)
+	}
+}
+
+// MeasureKernelPerf runs the performance suite and returns its results.
+// Wall-clock sensitive: call it on an otherwise idle machine.
+func MeasureKernelPerf() KernelPerf {
+	p := KernelPerf{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(),
+	}
+
+	// Kernel event chain.
+	const chainEvents = 2_000_000
+	k := sim.NewKernel()
+	c := &perfChain{k: k, left: 1000} // warmup
+	k.AfterCall(1, perfChainStep, c)
+	k.Drain()
+	c.left = chainEvents
+	k.AfterCall(1, perfChainStep, c)
+	start := time.Now()
+	k.Drain()
+	p.KernelEventsPerSec = chainEvents / time.Since(start).Seconds()
+	const perRun = 1000
+	p.KernelAllocsPerEvent = testing.AllocsPerRun(20, func() {
+		c.left = perRun
+		k.AfterCall(1, perfChainStep, c)
+		k.Drain()
+	}) / perRun
+
+	// Fabric packet pipeline.
+	fk := sim.NewKernel()
+	nw := fabric.NewNetwork(fk, 2, Config())
+	nw.SetHandler(1, func(*fabric.Packet) {})
+	pump := func() {
+		pkt := nw.AllocPacket()
+		pkt.Src, pkt.Dst, pkt.Kind, pkt.Size = 0, 1, fabric.KindPutData, 4096
+		pkt.Arg[3] = 1
+		nw.Send(pkt)
+		fk.Drain()
+	}
+	for i := 0; i < 1000; i++ { // warmup: pools, registration cache
+		pump()
+	}
+	const packets = 200_000
+	start = time.Now()
+	for i := 0; i < packets; i++ {
+		pump()
+	}
+	p.FabricPacketsPerSec = packets / time.Since(start).Seconds()
+	p.FabricAllocsPerPacket = testing.AllocsPerRun(200, pump)
+
+	// Figure regeneration, parallel then serial.
+	regen := func() {
+		Fig2LatePost(4)
+		Fig6LateUnlock(4)
+		Fig7AAARGats(4)
+	}
+	start = time.Now()
+	regen()
+	p.FigureRegenMs = float64(time.Since(start).Microseconds()) / 1000
+	prev := par.Workers()
+	par.SetWorkers(1)
+	start = time.Now()
+	regen()
+	p.FigureRegenSerialMs = float64(time.Since(start).Microseconds()) / 1000
+	par.SetWorkers(prev)
+	return p
+}

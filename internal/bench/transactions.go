@@ -83,9 +83,12 @@ func Fig12Transactions(sizes []int, p TxnParams) *stats.Table {
 		cols[i] = s.String()
 	}
 	t := stats.NewTable("Fig 12: massive unstructured atomic transactions", "thousands of transactions/s", "job size", rows, cols)
-	for _, n := range sizes {
-		for _, s := range AllTxnSeries {
-			t.Set(fmt.Sprintf("%d", n), s.String(), RunTxn(n, s, p))
+	cells := gridCell(len(sizes), len(AllTxnSeries), func(ni, si int) float64 {
+		return RunTxn(sizes[ni], AllTxnSeries[si], p)
+	})
+	for ni, n := range sizes {
+		for si, s := range AllTxnSeries {
+			t.Set(fmt.Sprintf("%d", n), s.String(), cells[ni][si])
 		}
 	}
 	return t

@@ -69,10 +69,10 @@ func (e *Engine) control(w *Window, dst int, kind ctlKind, value int64) {
 	case ctlUnlock:
 		fk = fabric.KindUnlock
 	}
-	net.Send(&fabric.Packet{
-		Src: me, Dst: dst, Kind: fk, Size: 8,
-		Arg: [4]int64{w.id, value, 0, 0},
-	})
+	p := net.AllocPacket()
+	p.Src, p.Dst, p.Kind, p.Size = me, dst, fk, 8
+	p.Arg = [4]int64{w.id, value, 0, 0}
+	net.Send(p)
 }
 
 // applyControl dispatches a control message delivered to this rank. src is

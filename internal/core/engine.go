@@ -254,10 +254,11 @@ func (e *Engine) win(id int64) *Window {
 // respond posts a response packet back to the requester (NIC-autonomous).
 func (e *Engine) respond(req *fabric.Packet, kind fabric.Kind, wo *wireOp, size int64, data []byte) {
 	wo.resp = data
-	e.rank.Send(&fabric.Packet{
-		Src: e.rank.ID, Dst: req.Src, Kind: kind, Size: size,
-		Payload: wo, Arg: [4]int64{req.Arg[0], 0, 0, 0},
-	})
+	p := e.rt.world.Net.AllocPacket()
+	p.Src, p.Dst, p.Kind, p.Size = e.rank.ID, req.Src, kind, size
+	p.Payload = wo
+	p.Arg = [4]int64{req.Arg[0], 0, 0, 0}
+	e.rank.Send(p)
 }
 
 // fillResult copies a fetched value into the op's result buffer.

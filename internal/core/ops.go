@@ -167,11 +167,10 @@ const ctrlBytes = 32
 
 // post sends the packet carrying op o toward its target.
 func (e *Engine) post(o *rmaOp, kind fabric.Kind, wireSize int64) {
-	p := &fabric.Packet{
-		Src: e.rank.ID, Dst: o.target, Kind: kind, Size: wireSize,
-		Payload: &wireOp{op: o, eng: e},
-		Arg:     [4]int64{o.ep.win.id, 0, 0, regionKey(o.ep.win, o.target)},
-	}
+	p := e.rt.world.Net.AllocPacket()
+	p.Src, p.Dst, p.Kind, p.Size = e.rank.ID, o.target, kind, wireSize
+	p.Payload = &wireOp{op: o, eng: e}
+	p.Arg = [4]int64{o.ep.win.id, 0, 0, regionKey(o.ep.win, o.target)}
 	if kind == fabric.KindPutData || kind == fabric.KindAccData {
 		op := o
 		p.OnTxDone = func() { e.opLocalDone(op) }

@@ -18,6 +18,12 @@ type Network struct {
 	fifos    map[fifoKey]*Fifo
 	regs     []*RegCache
 
+	// pktFree is the packet free-list backing AllocPacket. It is owned by
+	// the simulation's single-threaded event loop, so no locking is needed
+	// — and being per-Network, concurrent simulations in the parallel
+	// harness never share it.
+	pktFree []*Packet
+
 	// Delivered counts total packets handed to delivery handlers.
 	Delivered int64
 	// BytesMoved counts total payload bytes delivered.
@@ -40,10 +46,32 @@ func NewNetwork(k *sim.Kernel, n int, cfg Config) *Network {
 	}
 	nw.nics = make([]*NIC, n)
 	for r := 0; r < n; r++ {
-		nw.nics[r] = newNIC(nw, r)
+		nw.nics[r] = newNIC(nw, r, n)
 		nw.regs[r] = NewRegCache(cfg.RegCacheEntries)
 	}
 	return nw
+}
+
+// AllocPacket returns a zeroed packet from the network's free-list. Pooled
+// packets are recycled automatically once their delivery handler returns:
+// senders whose handlers do not retain the packet (the RMA protocol) should
+// allocate here instead of building literals, which keeps the per-message
+// fast path allocation-free. Handlers that keep packets past delivery (the
+// two-sided inbox) must keep using literals.
+func (nw *Network) AllocPacket() *Packet {
+	if l := len(nw.pktFree); l > 0 {
+		p := nw.pktFree[l-1]
+		nw.pktFree[l-1] = nil
+		nw.pktFree = nw.pktFree[:l-1]
+		return p
+	}
+	return &Packet{nw: nw, pooled: true}
+}
+
+// release zeroes a pooled packet and returns it to the free-list.
+func (nw *Network) release(p *Packet) {
+	*p = Packet{nw: nw, pooled: true}
+	nw.pktFree = append(nw.pktFree, p)
 }
 
 // N returns the number of ranks on the network.
@@ -68,18 +96,28 @@ func (nw *Network) Send(p *Packet) {
 	}
 	if nw.Cfg.SameNode(p.Src, p.Dst) {
 		d := nw.Cfg.AlphaIntra + nw.Cfg.IntraCopyTime(p.Size)
-		nw.K.After(d, func() {
-			if p.OnTxDone != nil {
-				p.OnTxDone()
-			}
-			nw.deliver(p)
-		})
+		if p.nw == nil {
+			p.nw = nw // literal packet: adopt it so deliverLocal can route it
+		}
+		nw.K.AfterCall(d, deliverLocal, p)
 		return
 	}
 	nw.nics[p.Src].enqueue(p)
 }
 
-// deliver hands p to the destination handler and updates statistics.
+// deliverLocal completes a same-node (shared-memory path) transfer: local
+// completion and delivery coincide. Shared and capture-free, so intranode
+// sends schedule no closures.
+func deliverLocal(x any) {
+	p := x.(*Packet)
+	if p.OnTxDone != nil {
+		p.OnTxDone()
+	}
+	p.nw.deliver(p)
+}
+
+// deliver hands p to the destination handler and updates statistics. A
+// pooled packet is recycled as soon as the handler returns.
 func (nw *Network) deliver(p *Packet) {
 	nw.Delivered++
 	nw.BytesMoved += p.Size
@@ -88,6 +126,9 @@ func (nw *Network) deliver(p *Packet) {
 		panic(fmt.Sprintf("fabric: no delivery handler for rank %d (packet kind %d from %d)", p.Dst, p.Kind, p.Src))
 	}
 	h(p)
+	if p.pooled {
+		nw.release(p)
+	}
 }
 
 // Fifo returns the intranode 64-bit notification FIFO carrying packets from

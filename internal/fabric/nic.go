@@ -2,9 +2,14 @@ package fabric
 
 import "repro/internal/sim"
 
-// desc is one queued send descriptor.
+// desc is one queued send descriptor. Descriptors are recycled through a
+// per-NIC free-list and carry the back-pointers the pipeline's shared,
+// capture-free callbacks need, so a transmit schedules its wire/delivery/
+// credit events without allocating.
 type desc struct {
+	n       *NIC
 	pkt     *Packet
+	dst     int      // cached: pkt may be recycled before the credit returns
 	regCost sim.Time // registration-cache miss penalty, charged as DMA setup
 }
 
@@ -24,9 +29,17 @@ type NIC struct {
 	nw   *Network
 	rank int
 
-	queue   []*desc
-	busy    bool
-	credits map[int]int
+	queue []*desc
+	busy  bool
+
+	// credits[dst] counts outstanding unacknowledged packets toward dst;
+	// skip[dst] == skipGen marks dst as credit-stalled within the current
+	// tryStart scan (a generation stamp avoids clearing — and avoids the
+	// per-scan map the old implementation allocated).
+	credits  []int
+	skip     []uint64
+	skipGen  uint64
+	descFree []*desc
 
 	// Stats.
 	Sent       int64
@@ -36,11 +49,12 @@ type NIC struct {
 	creditInit int
 }
 
-func newNIC(nw *Network, rank int) *NIC {
+func newNIC(nw *Network, rank, n int) *NIC {
 	return &NIC{
 		nw:         nw,
 		rank:       rank,
-		credits:    make(map[int]int),
+		credits:    make([]int, n),
+		skip:       make([]uint64, n),
 		creditInit: nw.Cfg.CreditsPerPeer,
 	}
 }
@@ -48,9 +62,29 @@ func newNIC(nw *Network, rank int) *NIC {
 // QueueLen returns the number of descriptors waiting for the wire.
 func (n *NIC) QueueLen() int { return len(n.queue) }
 
+// allocDesc takes a descriptor from the free-list (or allocates one).
+func (n *NIC) allocDesc() *desc {
+	if l := len(n.descFree); l > 0 {
+		d := n.descFree[l-1]
+		n.descFree[l-1] = nil
+		n.descFree = n.descFree[:l-1]
+		return d
+	}
+	return &desc{n: n}
+}
+
+// freeDesc returns a spent descriptor to the free-list.
+func (n *NIC) freeDesc(d *desc) {
+	d.pkt = nil
+	d.regCost = 0
+	n.descFree = append(n.descFree, d)
+}
+
 // enqueue posts a packet to the injection queue and kicks the pipeline.
 func (n *NIC) enqueue(p *Packet) {
-	d := &desc{pkt: p}
+	d := n.allocDesc()
+	d.pkt = p
+	d.dst = p.Dst
 	if rc := n.nw.regs[n.rank]; rc != nil && p.Size > 0 {
 		if !rc.Touch(regionKeyFor(p)) {
 			d.regCost = n.nw.Cfg.RegMissCost
@@ -72,14 +106,7 @@ func regionKeyFor(p *Packet) uint64 {
 
 // hasCredit reports whether a packet toward dst may start transmission.
 func (n *NIC) hasCredit(dst int) bool {
-	if n.creditInit <= 0 {
-		return true
-	}
-	used, ok := n.credits[dst]
-	if !ok {
-		used = 0
-	}
-	return used < n.creditInit
+	return n.creditInit <= 0 || n.credits[dst] < n.creditInit
 }
 
 // tryStart starts transmitting the oldest descriptor whose peer has
@@ -89,20 +116,20 @@ func (n *NIC) tryStart() {
 	if n.busy || len(n.queue) == 0 {
 		return
 	}
-	var skipped map[int]bool
+	n.skipGen++
+	gen := n.skipGen
 	for i, d := range n.queue {
-		dst := d.pkt.Dst
-		if skipped[dst] {
+		dst := d.dst
+		if n.skip[dst] == gen {
 			continue
 		}
 		if !n.hasCredit(dst) {
-			if skipped == nil {
-				skipped = make(map[int]bool)
-			}
-			skipped[dst] = true
+			n.skip[dst] = gen
 			continue
 		}
-		n.queue = append(n.queue[:i], n.queue[i+1:]...)
+		copy(n.queue[i:], n.queue[i+1:])
+		n.queue[len(n.queue)-1] = nil
+		n.queue = n.queue[:len(n.queue)-1]
 		n.transmit(d)
 		return
 	}
@@ -110,32 +137,67 @@ func (n *NIC) tryStart() {
 }
 
 // transmit occupies the wire for the descriptor's duration, then schedules
-// delivery and credit recovery.
+// delivery and credit recovery (descTxDone).
 func (n *NIC) transmit(d *desc) {
 	n.busy = true
-	dst := d.pkt.Dst
 	if n.creditInit > 0 {
-		n.credits[dst]++
+		n.credits[d.dst]++
 	}
 	n.Sent++
 	n.BytesSent += d.pkt.Size
+	wire := n.nw.Cfg.WireTime(d.pkt.Size) + d.regCost
+	n.nw.K.AfterCall(wire, descTxDone, d)
+}
+
+// descTxDone runs when the descriptor's last byte leaves the injection
+// pipeline: it frees the wire, signals local completion, and schedules
+// propagation plus (with flow control on) the hardware ACK that returns the
+// credit. All continuations are shared functions taking the descriptor, so
+// the whole per-packet pipeline costs zero allocations.
+func descTxDone(x any) {
+	d := x.(*desc)
+	n := d.n
 	cfg := n.nw.Cfg
-	wire := cfg.WireTime(d.pkt.Size) + d.regCost
+	n.busy = false
+	if d.pkt.OnTxDone != nil {
+		d.pkt.OnTxDone()
+	}
 	k := n.nw.K
-	k.After(wire, func() {
-		n.busy = false
-		if d.pkt.OnTxDone != nil {
-			d.pkt.OnTxDone()
-		}
-		// Propagation to the destination.
-		k.After(cfg.Alpha, func() { n.nw.deliver(d.pkt) })
-		// Hardware ACK returns the credit.
-		if n.creditInit > 0 {
-			k.After(cfg.Alpha+cfg.AckLatency, func() {
-				n.credits[dst]--
-				n.tryStart()
-			})
-		}
-		n.tryStart()
-	})
+	if n.creditInit > 0 {
+		// The credit-return event runs after the delivery event (it is
+		// scheduled later at >= the same time), and owns freeing d.
+		k.AfterCall(cfg.Alpha, descDeliver, d)
+		k.AfterCall(cfg.Alpha+cfg.AckLatency, descCreditReturn, d)
+	} else {
+		k.AfterCall(cfg.Alpha, descDeliverFree, d)
+	}
+	n.tryStart()
+}
+
+// descDeliver propagates the packet to its destination; the descriptor
+// stays alive for the pending credit-return event.
+func descDeliver(x any) {
+	d := x.(*desc)
+	d.n.nw.deliver(d.pkt)
+	d.pkt = nil // the network may recycle the packet now
+}
+
+// descDeliverFree is descDeliver for the no-flow-control configuration,
+// where no credit event will free the descriptor.
+func descDeliverFree(x any) {
+	d := x.(*desc)
+	n := d.n
+	pkt := d.pkt
+	n.freeDesc(d)
+	n.nw.deliver(pkt)
+}
+
+// descCreditReturn models the hardware ACK: the peer's credit comes back,
+// possibly unblocking a stalled descriptor, and the descriptor is retired.
+func descCreditReturn(x any) {
+	d := x.(*desc)
+	n := d.n
+	n.credits[d.dst]--
+	n.freeDesc(d)
+	n.tryStart()
 }

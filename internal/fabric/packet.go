@@ -50,4 +50,12 @@ type Packet struct {
 	// fully left the sender's injection pipeline (local completion: the
 	// origin buffer is reusable). Same-node packets fire it at delivery.
 	OnTxDone func()
+
+	// nw and pooled link the packet to the Network free-list it came from
+	// (see Network.AllocPacket). Pooled packets are recycled automatically
+	// after their delivery handler returns, so a handler that needs packet
+	// state beyond its own return must copy it out. Packets built as
+	// literals have pooled == false and are never recycled.
+	nw     *Network
+	pooled bool
 }

@@ -30,16 +30,19 @@ func (c *RegCache) Touch(key uint64) bool {
 	}
 	if pos, ok := c.index[key]; ok {
 		c.Hits++
-		// Move to most-recently-used position.
-		c.lru = append(append(c.lru[:pos:pos], c.lru[pos+1:]...), key)
+		// Move to most-recently-used position, in place: this runs on the
+		// NIC enqueue path for every transfer, so it must not allocate.
+		copy(c.lru[pos:], c.lru[pos+1:])
+		c.lru[len(c.lru)-1] = key
 		c.reindex(pos)
 		return true
 	}
 	c.Misses++
 	if len(c.lru) >= c.cap {
 		evicted := c.lru[0]
-		c.lru = c.lru[1:]
 		delete(c.index, evicted)
+		copy(c.lru, c.lru[1:])
+		c.lru = c.lru[:len(c.lru)-1]
 		c.reindex(0)
 	}
 	c.index[key] = len(c.lru)

@@ -3,8 +3,10 @@ package fuzz
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // Failure describes one failing (seed, mode) pair with every violated
@@ -26,8 +28,16 @@ type Options struct {
 	N     int         // number of programs (consecutive seeds)
 	Seed  uint64      // first seed
 	Modes []core.Mode // modes to run each program under; nil = both
-	// Progress, when non-nil, is called after each program with running
-	// totals (programs done, failures so far).
+	// Workers is the number of seeds checked concurrently; 0 uses the
+	// process-wide default (par.Workers). Seeds are independent
+	// simulations, so throughput scales near-linearly with cores.
+	Workers int
+	// Report, when non-nil, is called once per seed, in seed order, with
+	// that seed's failures (possibly none). Seed-order delivery makes the
+	// campaign transcript identical at any worker count.
+	Report func(seed uint64, fs []Failure)
+	// Progress, when non-nil, is called after each program, in seed order,
+	// with running totals (programs done, failures so far).
 	Progress func(done, failures int)
 }
 
@@ -46,23 +56,68 @@ func CheckSeed(seed uint64, mode core.Mode) *Failure {
 }
 
 // Campaign runs N consecutive seeds under every requested mode and collects
-// all failures.
+// all failures. Seeds are fanned across Workers goroutines; Report and
+// Progress still fire strictly in seed order, so the campaign's output is
+// byte-for-byte identical to a serial run.
 func Campaign(o Options) []Failure {
 	modes := o.Modes
 	if modes == nil {
 		modes = BothModes
 	}
-	var failures []Failure
-	for i := 0; i < o.N; i++ {
+	check := func(i int) []Failure {
 		seed := o.Seed + uint64(i)
+		var fs []Failure
 		for _, mode := range modes {
 			if f := CheckSeed(seed, mode); f != nil {
-				failures = append(failures, *f)
+				fs = append(fs, *f)
 			}
+		}
+		return fs
+	}
+	var failures []Failure
+	collect := func(i int, fs []Failure) {
+		failures = append(failures, fs...)
+		if o.Report != nil {
+			o.Report(o.Seed+uint64(i), fs)
 		}
 		if o.Progress != nil {
 			o.Progress(i+1, len(failures))
 		}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	if workers > o.N {
+		workers = o.N
+	}
+	if workers <= 1 {
+		for i := 0; i < o.N; i++ {
+			collect(i, check(i))
+		}
+		return failures
+	}
+	// Ordered streaming: workers pull the next unclaimed seed and publish
+	// its result on that seed's slot; the collector consumes slots in seed
+	// order while later seeds keep running behind it.
+	slots := make([]chan []Failure, o.N)
+	for i := range slots {
+		slots[i] = make(chan []Failure, 1)
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.N {
+					return
+				}
+				slots[i] <- check(i)
+			}
+		}()
+	}
+	for i := 0; i < o.N; i++ {
+		collect(i, <-slots[i])
 	}
 	return failures
 }

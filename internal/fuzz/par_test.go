@@ -1,0 +1,42 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// campaignTranscript runs a small campaign and records every Report and
+// Progress callback in order.
+func campaignTranscript(workers int) (string, int) {
+	var b strings.Builder
+	failures := Campaign(Options{
+		N:       20,
+		Seed:    1,
+		Workers: workers,
+		Report: func(seed uint64, fs []Failure) {
+			fmt.Fprintf(&b, "seed %d: %d failures\n", seed, len(fs))
+			for _, f := range fs {
+				fmt.Fprintf(&b, "  %s\n", f)
+			}
+		},
+		Progress: func(done, failed int) {
+			fmt.Fprintf(&b, "progress %d/%d\n", done, failed)
+		},
+	})
+	return b.String(), len(failures)
+}
+
+// TestCampaignParallelMatchesSerial pins the ordered-streaming guarantee:
+// the campaign transcript (Report and Progress, in seed order) is identical
+// at any worker count.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	s1, n1 := campaignTranscript(1)
+	s4, n4 := campaignTranscript(4)
+	if n1 != n4 {
+		t.Fatalf("failure count differs: serial %d, parallel %d", n1, n4)
+	}
+	if s1 != s4 {
+		t.Fatalf("campaign transcript differs between 1 and 4 workers:\n--- serial ---\n%s--- parallel ---\n%s", s1, s4)
+	}
+}

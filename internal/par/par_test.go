@@ -1,0 +1,63 @@
+package par
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestMapNOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		res := MapN(workers, 100, func(i int) int { return i * i })
+		if len(res) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(res))
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("workers=%d: res[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapNEmpty(t *testing.T) {
+	res := MapN(4, 0, func(i int) int { t.Fatal("job ran"); return 0 })
+	if len(res) != 0 {
+		t.Fatalf("got %d results, want 0", len(res))
+	}
+}
+
+func TestMapUsesDefaultWorkers(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	res := Map(10, func(i int) int { return i + 1 })
+	for i, v := range res {
+		if v != i+1 {
+			t.Fatalf("res[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestMapNPanicIsDeterministic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a re-raised panic")
+		}
+		msg := fmt.Sprint(r)
+		// All jobs >= 3 panic; the lowest failed index must surface no
+		// matter how the workers were scheduled.
+		if !strings.Contains(msg, "job 3 panicked: boom-3") {
+			t.Fatalf("re-raised panic = %q, want the job-3 panic", msg)
+		}
+	}()
+	MapN(4, 10, func(i int) int {
+		if i >= 3 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+		return i
+	})
+}

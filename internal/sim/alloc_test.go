@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// Allocation budgets for the event-scheduling hot path: once the heap's
+// backing array has warmed up, scheduling and draining events must not
+// touch the allocator at all. Any regression here (a reintroduced closure,
+// a boxed event, a per-push heap node) shows up as a nonzero count.
+
+func noop() {}
+
+func noopArg(any) {}
+
+func TestEventSchedulingAllocs(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 1024; i++ { // warm the heap's backing array
+		k.At(k.Now()+Time(i%7), noop)
+	}
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			k.At(k.Now()+Time(i%7), noop)
+		}
+		k.Drain()
+	})
+	if allocs != 0 {
+		t.Errorf("At+Drain: %.1f allocs/run, want 0", allocs)
+	}
+}
+
+func TestAtCallSchedulingAllocs(t *testing.T) {
+	k := NewKernel()
+	arg := new(int)
+	for i := 0; i < 1024; i++ {
+		k.AtCall(k.Now()+Time(i%7), noopArg, arg)
+	}
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			k.AtCall(k.Now()+Time(i%7), noopArg, arg)
+		}
+		k.Drain()
+	})
+	if allocs != 0 {
+		t.Errorf("AtCall+Drain: %.1f allocs/run, want 0", allocs)
+	}
+}

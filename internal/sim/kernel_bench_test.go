@@ -1,0 +1,24 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventChain measures the kernel's core scheduling loop: one event
+// per op, each rescheduling itself one nanosecond later (heap push + pop +
+// dispatch). ns/op is the per-event cost; events/sec = 1e9 / (ns/op).
+func BenchmarkEventChain(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			k.After(1, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(1, step)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -100,8 +100,8 @@ func (p *Proc) Sleep(d Time) {
 		return
 	}
 	k := p.k
-	k.At(k.now+d, func() { k.switchTo(p) })
-	p.park(fmt.Sprintf("sleep(%dns)", d))
+	k.AtCall(k.now+d, wakeProc, p)
+	p.park("sleep")
 }
 
 // Compute models CPU-bound work of duration d: virtually identical to Sleep
@@ -113,7 +113,7 @@ func (p *Proc) Compute(d Time) { p.Sleep(d) }
 // before this proc continues.
 func (p *Proc) Yield() {
 	k := p.k
-	k.At(k.now, func() { k.switchTo(p) })
+	k.AtCall(k.now, wakeProc, p)
 	p.park("yield")
 }
 
@@ -124,6 +124,9 @@ func (p *Proc) Yield() {
 type Signal struct {
 	k       *Kernel
 	waiters []*Proc
+	// spare is the previous waiter slice, recycled by Fire so steady-state
+	// wait/fire cycles allocate nothing.
+	spare []*Proc
 }
 
 // NewSignal creates a Signal bound to kernel k.
@@ -136,11 +139,14 @@ func (s *Signal) Fire() {
 		return
 	}
 	ws := s.waiters
-	s.waiters = nil
+	s.waiters = s.spare[:0]
 	for _, p := range ws {
-		proc := p
-		s.k.At(s.k.now, func() { s.k.switchTo(proc) })
+		s.k.AtCall(s.k.now, wakeProc, p)
 	}
+	for i := range ws {
+		ws[i] = nil
+	}
+	s.spare = ws[:0]
 }
 
 // Wait parks the calling proc until the next Fire. tag is used in deadlock
