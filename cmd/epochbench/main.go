@@ -1,6 +1,8 @@
 // Command epochbench regenerates the paper's microbenchmark figures
-// (Figs 2-11 and the Section VIII-A latency/overlap observations) and
-// prints paper-style tables.
+// (Figs 2-11 and the Section VIII-A latency/overlap observations), plus
+// figure 14 — this repo's fault-sweep extension: epoch latency vs fabric
+// drop rate, blocking against nonblocking (the paper's figures 12-13 are
+// the cmd/txn and cmd/lu applications) — and prints paper-style tables.
 //
 // Usage:
 //
@@ -20,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to run (2-11); 0 = all, plus the VIII-A tables")
+	fig := flag.Int("fig", 0, "figure to run (2-11, or 14 for the fault sweep); 0 = all, plus the VIII-A tables")
 	iters := flag.Int("iters", 10, "iterations to average per measurement")
 	pf := bench.RegisterFlags()
 	flag.Parse()
@@ -42,6 +44,7 @@ func main() {
 		{9, func() fmt.Stringer { return bench.Fig9AAER(*iters) }},
 		{10, func() fmt.Stringer { return bench.Fig10EAER(*iters) }},
 		{11, func() fmt.Stringer { return bench.Fig11EAAR(*iters) }},
+		{14, func() fmt.Stringer { return bench.FigFaultSweep(*iters) }},
 	}
 
 	ran := false
@@ -58,7 +61,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "epochbench: unknown figure %d (valid: 2-11)\n", *fig)
+		fmt.Fprintf(os.Stderr, "epochbench: unknown figure %d (valid: 2-11, 14)\n", *fig)
 		stop()
 		os.Exit(2)
 	}

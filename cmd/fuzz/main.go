@@ -15,6 +15,12 @@
 //	go run ./cmd/fuzz -n 200 -seed 1
 //	go run ./cmd/fuzz -n 2000 -workers 8     # large campaign, 8 cores
 //	go run ./cmd/fuzz -seed 1234 -n 1 -v     # replay one seed verbosely
+//	go run ./cmd/fuzz -n 200 -lossy          # drops/dups/flaps under the ARQ
+//
+// With -lossy every seed runs over a fault-injecting fabric (drop rate
+// around 1e-3 plus duplicates, corruption, jitter and link flaps — see
+// fuzz.LossyProfile). The schedule is a pure function of the seed, so a
+// lossy failure replays exactly like a pristine one.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	n := flag.Int("n", 100, "number of programs (consecutive seeds)")
 	seed := flag.Uint64("seed", 1, "first seed")
 	mode := flag.String("mode", "both", "modes to run: both, new or vanilla")
+	lossy := flag.Bool("lossy", false, "inject seeded fabric faults (recoverable schedule) under every run")
 	verbose := flag.Bool("v", false, "describe each program as it runs")
 	pf := bench.RegisterFlags()
 	flag.Parse()
@@ -54,6 +61,7 @@ func main() {
 		N:     *n,
 		Seed:  *seed,
 		Modes: modes,
+		Lossy: *lossy,
 		Report: func(s uint64, fs []fuzz.Failure) {
 			if *verbose {
 				p := fuzz.Generate(s)
@@ -76,6 +84,10 @@ func main() {
 		stop()
 		os.Exit(1)
 	}
-	fmt.Printf("ok: %d programs x %d mode(s), all invariants held\n", *n, len(modes))
+	fabricKind := "pristine fabric"
+	if *lossy {
+		fabricKind = "lossy fabric"
+	}
+	fmt.Printf("ok: %d programs x %d mode(s) over %s, all invariants held\n", *n, len(modes), fabricKind)
 	stop()
 }

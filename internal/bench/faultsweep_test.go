@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+func TestFaultSweepFigure(t *testing.T) {
+	tab := FigFaultSweep(10)
+	for _, s := range AllSeries {
+		clean := tab.Get("off", s.String())
+		if clean <= 0 {
+			t.Fatalf("%s: nonpositive clean latency %v", s, clean)
+		}
+		worst := tab.Get("1e-02", s.String())
+		if worst < clean {
+			t.Errorf("%s: latency fell from %v to %v as drops rose to 1e-2", s, clean, worst)
+		}
+	}
+	// On a clean fabric, the nonblocking series hides the epoch behind the
+	// overlap work; the blocking series pay epoch + work serially.
+	nb := tab.Get("off", SeriesNewNB.String())
+	bl := tab.Get("off", SeriesNew.String())
+	if nb >= bl {
+		t.Errorf("nonblocking (%v us) not faster than blocking (%v us) on the clean fabric", nb, bl)
+	}
+}
+
+func TestFaultSweepDeterminism(t *testing.T) {
+	a, b := FigFaultSweep(3), FigFaultSweep(3)
+	for _, row := range a.Rows {
+		for _, col := range a.Cols {
+			if a.Get(row, col) != b.Get(row, col) {
+				t.Fatalf("fault sweep not deterministic at (%s,%s): %v vs %v",
+					row, col, a.Get(row, col), b.Get(row, col))
+			}
+		}
+	}
+}

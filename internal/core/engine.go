@@ -42,6 +42,10 @@ type Engine struct {
 	// nodePeers caches the same-node peer ranks for the FIFO sweep.
 	nodePeers []int
 
+	// dead[p] records that the fabric declared peer p unreachable from this
+	// rank (see errors.go); allocated lazily on the first declaration.
+	dead []bool
+
 	// Sweeps counts Progress invocations (diagnostics).
 	Sweeps int64
 }

@@ -50,6 +50,10 @@ type Epoch struct {
 	// Requests (Section VII-C: specialized request objects).
 	openReq  *mpi.Request // dummy, pre-completed
 	closeReq *mpi.Request // completes when the epoch completes
+
+	// err is set when the epoch was aborted instead of completing cleanly
+	// (see errors.go); completed is also set so waiters unwind.
+	err *RMAError
 }
 
 func newEpoch(w *Window, kind EpochKind) *Epoch {

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// MPI-style error semantics (the MPI_ERRORS_ARE_FATAL analog over a faulty
+// fabric). Three things can go wrong underneath an epoch:
+//
+//   - the fabric declares a peer unreachable (reliability-sublayer retry
+//     exhaustion) -> ErrRankUnreachable;
+//   - a window's configured epoch timeout expires with the epoch still
+//     incomplete and no peer provably dead -> ErrTimeout;
+//   - a sibling epoch failed and the window's serial pipeline cannot make
+//     progress past it -> ErrEpochAborted.
+//
+// In every case the window aborts its pending epochs: each epoch is marked
+// complete-with-error so no waiter deadlocks — blocking synchronizations
+// observe the error and panic with the *RMAError (which world.Run converts
+// into a returned error via the kernel's %w wrapping), and nonblocking
+// closing requests fail so Request.Err reports the cause.
+
+// ErrClass partitions RMA failures, mirroring MPI error classes.
+type ErrClass int
+
+const (
+	// ErrTimeout: a window's per-epoch operation timeout expired before the
+	// epoch's completion conditions were met.
+	ErrTimeout ErrClass = iota + 1
+	// ErrRankUnreachable: the fabric exhausted its retransmission budget
+	// toward a peer this epoch depends on.
+	ErrRankUnreachable
+	// ErrEpochAborted: the epoch was unwound because an earlier epoch on the
+	// same window failed (cascade), not because of its own traffic.
+	ErrEpochAborted
+)
+
+// String names the class like an MPI error class constant.
+func (c ErrClass) String() string {
+	switch c {
+	case ErrTimeout:
+		return "ERR_TIMEOUT"
+	case ErrRankUnreachable:
+		return "ERR_RANK_UNREACHABLE"
+	case ErrEpochAborted:
+		return "ERR_EPOCH_ABORTED"
+	default:
+		return fmt.Sprintf("ErrClass(%d)", int(c))
+	}
+}
+
+// RMAError is the typed failure surfaced by epoch synchronizations. It
+// reaches callers two ways: blocking synchronizations panic with it (and
+// world.Run returns it, extractable with errors.As), nonblocking closing
+// requests carry it in Request.Err.
+type RMAError struct {
+	Class ErrClass
+	Rank  int // rank raising the error
+	Win   int64
+	Peer  int // implicated peer, -1 when unattributable
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *RMAError) Error() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("core: rank %d win %d: %s (peer %d): %s", e.Rank, e.Win, e.Class, e.Peer, e.Msg)
+	}
+	return fmt.Sprintf("core: rank %d win %d: %s: %s", e.Rank, e.Win, e.Class, e.Msg)
+}
+
+// newRMAError builds an error carrying the window's context.
+func (w *Window) newRMAError(class ErrClass, peer int, format string, args ...interface{}) *RMAError {
+	return &RMAError{
+		Class: class,
+		Rank:  w.rank.ID,
+		Win:   w.id,
+		Peer:  peer,
+		Msg:   fmt.Sprintf(format, args...),
+	}
+}
+
+// Err returns the first error that aborted this window's epochs, or nil.
+func (w *Window) Err() error {
+	if w.err == nil {
+		return nil
+	}
+	return w.err
+}
+
+// --- Epoch abort ------------------------------------------------------- //
+
+// abortEpoch unwinds one epoch: it is marked complete-with-error (so the
+// serial activation pipeline and all waiters move past it), its recorded
+// and in-flight transfers are forgotten, and its closing request fails.
+// Runs in kernel (timer / NIC-unreachable) context.
+func (w *Window) abortEpoch(ep *Epoch, err *RMAError) {
+	if ep.completed {
+		return
+	}
+	ep.err = err
+	if w.err == nil {
+		w.err = err
+	}
+	w.fstats.EpochsAborted++
+	// Forget this epoch's transfers: recorded ones must never issue, and
+	// in-flight ones toward a dead peer will never complete — neither may
+	// keep a flush or quiesce waiting.
+	for o := range w.liveOps {
+		if o.ep == ep {
+			delete(w.liveOps, o)
+		}
+	}
+	ep.recorded = nil
+	ep.recByTgt = nil
+	ep.recLive = 0
+	ep.completed = true
+	if ep.closeReq != nil {
+		ep.closeReq.Fail(err)
+	}
+	w.dirty = true
+	w.rank.Wake.Fire()
+}
+
+// abortPending unwinds every not-yet-completed epoch of the window: first
+// gets the causing error, the rest cascade as ErrEpochAborted. Outstanding
+// nonblocking flushes fail too — their completion counters may depend on
+// transfers that will never finish.
+func (w *Window) abortPending(first *Epoch, err *RMAError) {
+	w.abortEpoch(first, err)
+	cascade := w.newRMAError(ErrEpochAborted, err.Peer,
+		"epoch aborted in cascade after %s", err.Class)
+	for _, ep := range w.epochs {
+		w.abortEpoch(ep, cascade)
+	}
+	for _, f := range w.flushes {
+		f.req.Fail(cascade)
+	}
+	w.flushes = nil
+}
+
+// waitSync is the blocking tail of every synchronization call: wait for the
+// closing request, then surface any abort error as a panic (the
+// errors-are-fatal analog — world.Run returns it as a wrapped error).
+func (w *Window) waitSync(req *mpi.Request) {
+	w.rank.Wait(req)
+	if err := req.Err(); err != nil {
+		panic(err)
+	}
+}
+
+// --- Timeouts ---------------------------------------------------------- //
+
+// armEpochTimeout starts the window's per-epoch operation timeout for an
+// application-closed epoch. No-op when the window has no timeout configured
+// (the default), so fault-free runs schedule nothing.
+func (w *Window) armEpochTimeout(ep *Epoch) {
+	if w.timeout <= 0 || ep.completed {
+		return
+	}
+	k := w.rank.World().K
+	k.After(w.timeout, func() {
+		if ep.completed {
+			return
+		}
+		w.fstats.Timeouts++
+		w.abortPending(ep, w.classifyStall(ep))
+	})
+}
+
+// classifyStall attributes a timed-out epoch: if any peer the epoch depends
+// on is provably unreachable (fabric-declared or engine-known dead), the
+// error is ErrRankUnreachable naming that peer; otherwise a plain
+// ErrTimeout.
+func (w *Window) classifyStall(ep *Epoch) *RMAError {
+	check := func(peers []int) *RMAError {
+		for _, p := range peers {
+			if w.eng.peerDead(p) {
+				return w.newRMAError(ErrRankUnreachable, p,
+					"%s epoch seq %d waited %s of virtual time; peer declared unreachable",
+					ep.kind, ep.seq, fmtTime(w.timeout))
+			}
+		}
+		return nil
+	}
+	if ep.kind.isAccessRole() {
+		if e := check(ep.accessTargets()); e != nil {
+			return e
+		}
+	}
+	if ep.kind.isExposureRole() {
+		if e := check(ep.exposureOrigins()); e != nil {
+			return e
+		}
+	}
+	return w.newRMAError(ErrTimeout, -1,
+		"%s epoch seq %d incomplete after %s of virtual time", ep.kind, ep.seq, fmtTime(w.timeout))
+}
+
+// fmtTime renders a virtual duration for error messages.
+func fmtTime(t sim.Time) string {
+	if t%sim.Millisecond == 0 {
+		return fmt.Sprintf("%dms", t/sim.Millisecond)
+	}
+	if t%sim.Microsecond == 0 {
+		return fmt.Sprintf("%dus", t/sim.Microsecond)
+	}
+	return fmt.Sprintf("%dns", t)
+}
+
+// --- Unreachable-peer propagation -------------------------------------- //
+
+// peerUnreachable runs (in kernel context) when this rank's reliability
+// sublayer declares peer dead: every window aborts the pending epochs that
+// depend on the peer — without waiting for a timeout, since the fabric has
+// already proven the peer gone.
+func (e *Engine) peerUnreachable(peer int) {
+	if e.dead == nil {
+		e.dead = make([]bool, e.rt.world.Size())
+	}
+	if e.dead[peer] {
+		return
+	}
+	e.dead[peer] = true
+	for _, w := range e.winList {
+		w.abortOnDeadPeer(peer)
+	}
+}
+
+// peerDead reports whether this rank knows peer to be unreachable, either
+// from its own sublayer or from the fabric's link state.
+func (e *Engine) peerDead(peer int) bool {
+	if e.dead != nil && e.dead[peer] {
+		return true
+	}
+	return e.rt.world.Net.PeerUnreachable(e.rank.ID, peer)
+}
+
+// abortOnDeadPeer aborts the window's pending epochs if any of them depends
+// on the dead peer. The whole pending queue unwinds — the window's serial
+// activation pipeline cannot skip a wedged epoch.
+func (w *Window) abortOnDeadPeer(peer int) {
+	for _, ep := range w.epochs {
+		if ep.completed {
+			continue
+		}
+		involved := (ep.kind.isAccessRole() && ep.coversTarget(peer)) ||
+			(ep.kind.isExposureRole() && containsRank(ep.exposureOrigins(), peer))
+		if involved {
+			w.abortPending(ep, w.newRMAError(ErrRankUnreachable, peer,
+				"%s epoch seq %d depends on unreachable peer", ep.kind, ep.seq))
+			return
+		}
+	}
+}
+
+func containsRank(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// faultyWorld builds a 2-rank internode job with the given fault profile.
+func faultyWorld(t *testing.T, n int, fp fabric.FaultProfile) (*mpi.World, *Runtime) {
+	t.Helper()
+	w := mpi.NewWorld(n, fabric.DefaultConfig())
+	w.Net.EnableFaults(fp)
+	return w, NewRuntime(w)
+}
+
+// The ISSUE acceptance scenario: a peer that stops answering mid-run must
+// surface ErrRankUnreachable from a blocked epoch wait — within bounded
+// virtual time — instead of hanging the simulation.
+func TestUnreachablePeerSurfacesError(t *testing.T) {
+	fp := fabric.DefaultFaultProfile(1)
+	fp.DeadRank = 1
+	fp.DeadFrom = 200 * sim.Microsecond
+	fp.RTO = 10 * sim.Microsecond
+	fp.MaxRetries = 3
+	w, rt := faultyWorld(t, 2, fp)
+	var deadline sim.Time
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1024, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 50 * sim.Millisecond,
+		})
+		if r.ID != 0 {
+			return // rank 1 goes silent; the fabric stops delivering to it
+		}
+		r.Compute(300 * sim.Microsecond) // let DeadFrom pass first
+		deadline = r.Now() + 50*sim.Millisecond
+		win.Lock(1, true)
+		win.Put(1, 0, make([]byte, 256), 256)
+		win.Unlock(1) // must unwind with the error, not hang
+		t.Error("Unlock returned despite an unreachable target")
+	})
+	if err == nil {
+		t.Fatal("run succeeded against a dead peer")
+	}
+	var rma *RMAError
+	if !errors.As(err, &rma) {
+		t.Fatalf("error %v does not unwrap to *RMAError", err)
+	}
+	if rma.Class != ErrRankUnreachable {
+		t.Fatalf("class = %v, want ERR_RANK_UNREACHABLE (%v)", rma.Class, err)
+	}
+	if rma.Peer != 1 || rma.Rank != 0 {
+		t.Errorf("attribution rank=%d peer=%d, want rank=0 peer=1", rma.Rank, rma.Peer)
+	}
+	if w.K.Now() > deadline {
+		t.Errorf("error surfaced at t=%d, after the %d deadline", w.K.Now(), deadline)
+	}
+}
+
+// A stalled-but-not-provably-dead epoch times out with ErrTimeout.
+func TestEpochTimeoutClassifiesStall(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 2 * sim.Millisecond,
+		})
+		if r.ID != 0 {
+			return // never posts the matching exposure
+		}
+		win.Start([]int{1})
+		// The put cannot issue until rank 1 grants the access, which it
+		// never does — so the epoch stays incomplete and the watchdog fires.
+		win.Put(1, 0, make([]byte, 32), 32)
+		win.Complete()
+		t.Error("Complete returned without a matching Post")
+	})
+	var rma *RMAError
+	if !errors.As(err, &rma) {
+		t.Fatalf("error %v does not unwrap to *RMAError", err)
+	}
+	if rma.Class != ErrTimeout {
+		t.Fatalf("class = %v, want ERR_TIMEOUT (%v)", rma.Class, err)
+	}
+	if rma.Peer != -1 {
+		t.Errorf("peer = %d; a plain stall is unattributable, want -1", rma.Peer)
+	}
+	if !strings.Contains(err.Error(), "2ms") {
+		t.Errorf("message %q does not state the configured timeout", err)
+	}
+	if w.K.Now() > 3*sim.Millisecond {
+		t.Errorf("timeout fired at t=%d, far beyond the configured bound", w.K.Now())
+	}
+}
+
+// Nonblocking closes must not panic: the failure travels through the
+// closing request's Err, and the window records the abort in FaultStats.
+func TestNonblockingAbortFailsRequest(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	var reqErr error
+	var fs FaultStats
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 2 * sim.Millisecond,
+		})
+		if r.ID != 0 {
+			return
+		}
+		win.IStart([]int{1})
+		win.Put(1, 0, make([]byte, 32), 32) // never granted, never issues
+		req := win.IComplete()
+		r.Wait(req) // returns (completed-with-error) instead of deadlocking
+		reqErr = req.Err()
+		fs = win.FaultStats()
+	})
+	if err != nil {
+		t.Fatalf("nonblocking abort escalated to a run failure: %v", err)
+	}
+	var rma *RMAError
+	if !errors.As(reqErr, &rma) || rma.Class != ErrTimeout {
+		t.Fatalf("request error = %v, want an ErrTimeout *RMAError", reqErr)
+	}
+	if fs.Timeouts != 1 || fs.EpochsAborted == 0 {
+		t.Errorf("FaultStats = %+v, want Timeouts=1 and EpochsAborted>0", fs)
+	}
+}
+
+// When the first of several deferred epochs dies, its successors unwind as
+// ERR_EPOCH_ABORTED — the serial pipeline cannot skip a wedged epoch.
+func TestAbortCascadesToDeferredEpochs(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	var errs [2]error
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 2 * sim.Millisecond,
+		})
+		if r.ID != 0 {
+			return
+		}
+		win.IStart([]int{1})
+		win.Put(1, 0, make([]byte, 32), 32) // never granted, never issues
+		r1 := win.IComplete()
+		win.IStart([]int{1}) // deferred behind the doomed epoch
+		r2 := win.IComplete()
+		r.Wait(r1)
+		r.Wait(r2)
+		errs[0], errs[1] = r1.Err(), r2.Err()
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	var rma *RMAError
+	if !errors.As(errs[0], &rma) || rma.Class != ErrTimeout {
+		t.Fatalf("first epoch error = %v, want ErrTimeout", errs[0])
+	}
+	if !errors.As(errs[1], &rma) || rma.Class != ErrEpochAborted {
+		t.Fatalf("deferred epoch error = %v, want ErrEpochAborted", errs[1])
+	}
+}
+
+// An aborted window refuses new operations with the stored cause instead of
+// corrupting state.
+func TestAbortedEpochRejectsNewOps(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	sawPanic := false
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 2 * sim.Millisecond,
+		})
+		if r.ID != 0 {
+			return
+		}
+		win.IStart([]int{1})
+		win.Put(1, 0, make([]byte, 8), 8) // never granted; times out
+		req := win.IComplete()
+		r.Wait(req)
+		if win.Err() == nil {
+			t.Error("window error not recorded after abort")
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					sawPanic = true
+				}
+			}()
+			win.IStart([]int{1}) // the poisoned window rejects new epochs
+		}()
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !sawPanic {
+		t.Error("operation on an aborted epoch did not raise")
+	}
+}
+
+// End-to-end GATS correctness over an adversarial-but-recoverable fabric:
+// data lands intact, and the window's FaultStats expose the recovery work.
+func TestLossyGATSEndToEnd(t *testing.T) {
+	fp := fabric.DefaultFaultProfile(99)
+	fp.Drop = 0.08
+	fp.Dup = 0.05
+	fp.Corrupt = 0.02
+	fp.JitterMax = 2 * sim.Microsecond
+	w, rt := faultyWorld(t, 2, fp)
+	payload := make([]byte, 1<<13)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got []byte
+	var fs FaultStats
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<13, WinOptions{Mode: ModeNew})
+		for round := 0; round < 16; round++ {
+			if r.ID == 0 {
+				win.Start([]int{1})
+				win.Put(1, 0, payload, int64(len(payload)))
+				win.Complete()
+			} else {
+				win.Post([]int{0})
+				win.WaitEpoch()
+			}
+		}
+		if r.ID == 1 {
+			got = append([]byte(nil), win.Bytes()...)
+		}
+		if r.ID == 0 {
+			fs = win.FaultStats()
+		}
+		win.Quiesce()
+	})
+	if err != nil {
+		t.Fatalf("lossy run failed: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("payload corrupted across the lossy fabric")
+	}
+	if fs.PacketsLost == 0 || fs.Retransmits == 0 {
+		t.Errorf("FaultStats show no recovery work on a lossy run: %+v", fs)
+	}
+	if fs.EpochsAborted != 0 || fs.Timeouts != 0 {
+		t.Errorf("recoverable loss escalated to aborts: %+v", fs)
+	}
+}
+
+// Satellite: duplicated counter updates (grants, dones) are idempotent —
+// the ω algebra is max-merge, so replaying any control word is harmless.
+func TestDuplicateCounterUpdatesIdempotent(t *testing.T) {
+	c := &peerCounters{}
+	c.recordGrant(3)
+	g := c.g
+	c.recordGrant(3) // exact duplicate delivery
+	c.recordGrant(3)
+	if c.g != g {
+		t.Fatalf("duplicate grant moved g: %d -> %d", g, c.g)
+	}
+	c.recordDone(2)
+	d := c.doneRecv
+	c.recordDone(2)
+	if c.doneRecv != d {
+		t.Fatalf("duplicate done moved doneRecv: %d -> %d", d, c.doneRecv)
+	}
+	if !c.exposureComplete(2) || c.exposureComplete(3) {
+		t.Fatal("completion predicate disturbed by duplicate dones")
+	}
+}
+
+// Satellite: a duplicated lock-grant packet replayed into the engine's
+// control path must not double-activate the epoch or wedge the agent.
+func TestDuplicateLockGrantIdempotent(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	payload := []byte("idempotent grant")
+	var got []byte
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew})
+		if r.ID == 0 {
+			win.Lock(1, true)
+			win.Put(1, 0, payload, int64(len(payload)))
+			win.Flush(1) // lock is granted and used by now
+			// Replay the grant control word exactly as a duplicated
+			// KindPostNotify delivery would (same cumulative value).
+			eng := rt.Engine(0)
+			eng.applyControl(ctlGrant, win, 1, win.peers[1].g)
+			win.Unlock(1)
+		}
+		r.Barrier() // target reads only after the origin's unlock
+		if r.ID == 1 {
+			got = append([]byte(nil), win.Bytes()[:len(payload)]...)
+		}
+		win.Quiesce()
+	})
+	if err != nil {
+		t.Fatalf("run failed after duplicated grant: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("target saw %q, want %q", got, payload)
+	}
+}
+
+// Epoch timeouts are inert on completing runs: nothing fires, nothing
+// aborts, and the armed timers do not prevent kernel quiescence.
+func TestEpochTimeoutInertOnHealthyRun(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	var fs FaultStats
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1024, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 10 * sim.Millisecond,
+		})
+		if r.ID == 0 {
+			win.Start([]int{1})
+			win.Put(1, 0, make([]byte, 512), 512)
+			win.Complete()
+			fs = win.FaultStats()
+		} else {
+			win.Post([]int{0})
+			win.WaitEpoch()
+		}
+		win.Quiesce()
+	})
+	if fs.Timeouts != 0 || fs.EpochsAborted != 0 {
+		t.Fatalf("healthy run tripped the watchdog: %+v", fs)
+	}
+}

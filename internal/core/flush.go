@@ -112,6 +112,9 @@ func (w *Window) flushWait(target int, local bool) {
 		w.vanillaForceIssue(target)
 	}
 	w.rank.WaitUntil("flush", func() bool {
+		if w.err != nil {
+			return true // aborted window: unwind instead of waiting forever
+		}
 		for o := range w.liveOps {
 			if target != -1 && o.target != target {
 				continue
@@ -125,6 +128,9 @@ func (w *Window) flushWait(target int, local bool) {
 		}
 		return true
 	})
+	if w.err != nil {
+		panic(w.err)
+	}
 }
 
 // Flush blocks until all RMA calls issued toward target are complete at

@@ -59,6 +59,11 @@ func (w *Window) addOp(o *rmaOp) {
 		w.stats.BytesOut += o.size
 	}
 	ep := o.ep
+	if ep.err != nil {
+		// The surrounding epoch was aborted (dead peer / timeout): issuing
+		// further communication on it is erroneous. Errors are fatal.
+		panic(ep.err)
+	}
 	if w.chkCfl {
 		w.checkConflict(o)
 	}
@@ -231,6 +236,9 @@ func (e *Engine) opDelivered(o *rmaOp) {
 // target is fulfilled" (Section VII-D). The NIC's per-peer ordering makes
 // the notification arrive after the epoch's data.
 func (ep *Epoch) maybePostDone(t int) {
+	if ep.err != nil {
+		return // aborted epochs must not signal successful completion
+	}
 	if !ep.activated || !ep.closedApp || ep.donePosted[t] {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mpi"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -22,6 +23,12 @@ func NewRuntime(w *mpi.World) *Runtime {
 	for i := 0; i < w.Size(); i++ {
 		rt.engines[i] = newEngine(rt, w.Rank(i))
 	}
+	// When the fabric runs with fault injection, an exhausted retransmission
+	// budget surfaces here: the local engine aborts the epochs that depend
+	// on the dead peer (errors.go) instead of letting waiters hang.
+	w.Net.SetUnreachableHandler(func(local, peer int) {
+		rt.engines[local].peerUnreachable(peer)
+	})
 	rt.registerDiagnostics()
 	return rt
 }
@@ -49,6 +56,11 @@ type WinOptions struct {
 	// touch overlapping target ranges (at least one writing) abort the
 	// run. Debug aid; O(ops^2) per window.
 	CheckConflicts bool
+	// EpochTimeout, when positive, bounds the virtual time an application-
+	// closed epoch may stay incomplete before the window aborts it with
+	// ErrTimeout (or ErrRankUnreachable when a dead peer is implicated).
+	// 0 — the default — disables the watchdog, matching MPI semantics.
+	EpochTimeout sim.Time
 }
 
 // CreateWindow collectively creates an RMA window exposing size bytes of
@@ -61,16 +73,17 @@ func (rt *Runtime) CreateWindow(r *mpi.Rank, size int64, opt WinOptions) *Window
 	}
 	eng := rt.engines[r.ID]
 	w := &Window{
-		rank:   r,
-		eng:    eng,
-		id:     eng.nextWinID,
-		mode:   opt.Mode,
-		info:   opt.Info,
-		n:      rt.world.Size(),
-		size:   size,
-		noTrig: opt.NoTriggeredOps,
-		chkCfl: opt.CheckConflicts,
-		peers:  make([]*peerCounters, rt.world.Size()),
+		rank:    r,
+		eng:     eng,
+		id:      eng.nextWinID,
+		mode:    opt.Mode,
+		info:    opt.Info,
+		n:       rt.world.Size(),
+		size:    size,
+		noTrig:  opt.NoTriggeredOps,
+		chkCfl:  opt.CheckConflicts,
+		timeout: opt.EpochTimeout,
+		peers:   make([]*peerCounters, rt.world.Size()),
 	}
 	eng.nextWinID++
 	if !opt.ShapeOnly {

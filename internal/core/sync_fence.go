@@ -45,7 +45,7 @@ func (w *Window) Fence(assert FenceAssert) {
 		w.vanillaFence(assert)
 		return
 	}
-	w.rank.Wait(w.IFence(assert))
+	w.waitSync(w.IFence(assert))
 }
 
 // openFenceEpoch creates and enqueues a new fence epoch. Fence epochs play

@@ -62,7 +62,7 @@ func (w *Window) Complete() {
 		w.vanillaComplete()
 		return
 	}
-	w.rank.Wait(w.IComplete())
+	w.waitSync(w.IComplete())
 }
 
 // findOpenGATSAccess locates the application-open GATS access epoch.
@@ -123,9 +123,14 @@ func (w *Window) IWait() *mpi.Request {
 	ep.closedApp = true
 	w.emitEpoch(traceClose, ep)
 	ep.closeReq = mpi.NewRequest(w.rank)
+	if ep.err != nil {
+		ep.closeReq.Fail(ep.err)
+		return ep.closeReq
+	}
 	if ep.activated {
 		ep.maybeComplete()
 	}
+	w.armEpochTimeout(ep)
 	return ep.closeReq
 }
 
@@ -137,7 +142,7 @@ func (w *Window) WaitEpoch() {
 		w.vanillaWaitEpoch()
 		return
 	}
-	w.rank.Wait(w.IWait())
+	w.waitSync(w.IWait())
 }
 
 // TestEpoch is MPI_WIN_TEST: it drives progress once and reports whether
@@ -150,6 +155,10 @@ func (w *Window) TestEpoch() bool {
 	}
 	ep := w.openExposure[0]
 	w.rank.Test(nil) // one progress sweep
+	if ep.err != nil {
+		w.openExposure = w.openExposure[1:]
+		panic(ep.err)
+	}
 	if !ep.activated {
 		return false
 	}

@@ -146,7 +146,7 @@ func (w *Window) Unlock(target int) {
 		w.vanillaUnlock(target)
 		return
 	}
-	w.rank.Wait(w.IUnlock(target))
+	w.waitSync(w.IUnlock(target))
 }
 
 // ILockAll opens a shared lock on every rank of the window, nonblockingly.
@@ -186,7 +186,7 @@ func (w *Window) UnlockAll() {
 		w.vanillaUnlockAll()
 		return
 	}
-	w.rank.Wait(w.IUnlockAll())
+	w.waitSync(w.IUnlockAll())
 }
 
 // findOpenLock locates the newest application-open lock epoch of the given
@@ -217,12 +217,19 @@ func (w *Window) closeAccessEpoch(ep *Epoch) *mpi.Request {
 	w.emitEpoch(traceClose, ep)
 	ep.closeReq = mpi.NewRequest(w.rank)
 	w.removeOpenAccess(ep)
+	if ep.err != nil {
+		// The epoch was aborted before the application closed it: fail the
+		// closing request immediately so the waiter unwinds with the cause.
+		ep.closeReq.Fail(ep.err)
+		return ep.closeReq
+	}
 	if ep.activated {
 		for _, t := range ep.doneTargets() {
 			ep.maybePostDone(t)
 		}
 		ep.maybeComplete()
 	}
+	w.armEpochTimeout(ep)
 	return ep.closeReq
 }
 

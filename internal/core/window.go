@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/mpi"
+	"repro/internal/sim"
 )
 
 // Window is one rank's view of a collectively created RMA window: the
@@ -44,6 +45,13 @@ type Window struct {
 
 	// chkCfl enables the Section VI-C disjointness conflict checker.
 	chkCfl bool
+
+	// timeout is the per-epoch operation timeout (WinOptions.EpochTimeout);
+	// 0 disables it. err records the first abort (see errors.go) and fstats
+	// the window-level fault counters.
+	timeout sim.Time
+	err     *RMAError
+	fstats  FaultStats
 
 	// stats and lifecycle.
 	stats WindowStats
@@ -101,6 +109,11 @@ func (w *Window) removeOpenAccess(ep *Epoch) {
 // and triggers an activation scan (the epoch may activate immediately).
 func (w *Window) pushEpoch(ep *Epoch) {
 	w.checkLive()
+	if w.err != nil {
+		// Errors are fatal for the window: once an epoch aborted, the serial
+		// pipeline is poisoned and new epochs would hang behind it.
+		panic(w.err)
+	}
 	w.rank.ChargeCall()
 	w.emitEpoch(traceOpen, ep)
 	w.epochs = append(w.epochs, ep)

@@ -17,6 +17,40 @@ func (w *Window) Stats() WindowStats {
 	return s
 }
 
+// FaultStats aggregates the window's fault-handling activity: the
+// fabric-level reliability counters of the owning rank (retransmits, dedup
+// drops, flap recoveries — rank-wide, since links are shared by all of the
+// rank's windows) plus this window's epoch-level abort counters. All zero
+// on a fault-free run.
+type FaultStats struct {
+	// Fabric reliability sublayer (per rank; see fabric.RelStats).
+	Retransmits   int64
+	PacketsLost   int64 // injector drops, down-link losses included
+	DupDrops      int64 // duplicate deliveries discarded by the receiver
+	GapDrops      int64 // out-of-order deliveries discarded (go-back-N)
+	CorruptDrops  int64 // checksum failures discarded by the receiver
+	Flaps         int64 // link-down windows this rank's links entered
+	FlapRecovered int64 // links that resumed carrying traffic after a flap
+
+	// Epoch-level error handling (per window; see errors.go).
+	EpochsAborted int64
+	Timeouts      int64
+}
+
+// FaultStats returns a snapshot of the window's fault counters.
+func (w *Window) FaultStats() FaultStats {
+	fs := w.fstats
+	rs := w.eng.rt.world.Net.RelStats(w.rank.ID)
+	fs.Retransmits = rs.Retransmits
+	fs.PacketsLost = rs.Drops
+	fs.DupDrops = rs.DupDrops
+	fs.GapDrops = rs.GapDrops
+	fs.CorruptDrops = rs.CorruptDrops
+	fs.Flaps = rs.Flaps
+	fs.FlapRecovered = rs.FlapRecover
+	return fs
+}
+
 // Free collectively tears the window down: it waits for every local epoch
 // to complete, synchronizes all ranks, and detaches the window from the
 // engine. Using a freed window panics. Mirrors MPI_WIN_FREE's "all RMA on

@@ -1,0 +1,294 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Fault injection: a deterministic adversary for the internode fabric.
+//
+// When a FaultProfile is enabled on a Network, every internode packet passes
+// through an injector that may drop, duplicate, corrupt or jitter-delay it,
+// take the link down for a flap window, or blackhole a whole rank. Every
+// decision is drawn from a sim.RNG seeded by the profile, and the simulation
+// kernel is single-threaded, so a given (program, profile) pair replays the
+// exact same fault schedule bit for bit — fault scenarios are as reproducible
+// as fault-free ones.
+//
+// The injector sits below the reliability sublayer (reliable.go), which
+// restores exactly-once in-order delivery per directed link, so the RMA
+// protocol above observes a lossless fabric with inflated latencies — unless
+// a peer is genuinely unreachable, in which case the sublayer reports it
+// upward instead of retrying forever.
+
+// FaultProfile configures the deterministic fault injector. The zero value
+// of the probability and duration fields disables the corresponding fault
+// class; use DefaultFaultProfile as the base so the rank-targeting fields
+// (StallRank, DeadRank — where 0 is a valid rank) start disabled.
+type FaultProfile struct {
+	// Seed drives every injection decision. Profiles differing only in Seed
+	// produce different but individually reproducible schedules.
+	Seed uint64
+
+	// Drop, Dup and Corrupt are per-packet probabilities on each injection
+	// attempt (first transmissions and retransmissions alike). A corrupted
+	// packet reaches the receiver but fails its checksum there and is
+	// discarded — distinguishable from a drop in the statistics.
+	Drop    float64
+	Dup     float64
+	Corrupt float64
+
+	// JitterMax adds a uniform extra delay in [0, JitterMax] to each
+	// delivered copy, modeling congestion-induced latency variance.
+	JitterMax sim.Time
+
+	// Flap is the per-packet probability that the injection attempt finds
+	// the directed link failing: the packet is lost and the link stays down
+	// (dropping everything) for FlapDown of virtual time.
+	Flap     float64
+	FlapDown sim.Time
+
+	// StallRank (when >= 0) blackholes every link touching that rank during
+	// [StallFrom, StallFrom+StallFor): a transient whole-rank stall, e.g. an
+	// OS-jitter or switch-reboot event. Traffic recovers via retransmission.
+	StallRank int
+	StallFrom sim.Time
+	StallFor  sim.Time
+
+	// DeadRank (when >= 0) blackholes every link touching that rank forever
+	// starting at DeadFrom. Senders eventually exhaust MaxRetries and
+	// declare the rank unreachable.
+	DeadRank int
+	DeadFrom sim.Time
+
+	// RTO is the initial retransmission timeout of the reliability sublayer
+	// (doubled on each consecutive expiry up to maxBackoffShift); 0 selects
+	// 4*(Alpha+AckLatency). MaxRetries bounds consecutive expirations before
+	// a peer is declared unreachable; 0 means retry forever.
+	RTO        sim.Time
+	MaxRetries int
+}
+
+// DefaultFaultProfile returns a profile with every fault class disabled and
+// the rank-targeting fields set to "no rank". Callers switch on the classes
+// they want.
+func DefaultFaultProfile(seed uint64) FaultProfile {
+	return FaultProfile{Seed: seed, StallRank: -1, DeadRank: -1}
+}
+
+// maxBackoffShift caps exponential backoff at RTO << maxBackoffShift so a
+// long flap cannot push the next retransmission beyond recovery horizons.
+const maxBackoffShift = 10
+
+// RelStats counts one rank's reliability-sublayer and injector activity.
+// The tx-side counters (Sent..Unreachable) accumulate at the sending rank
+// of a link, the rx-side counters (DupDrops..AcksSent) at the receiver.
+type RelStats struct {
+	Sent        int64 // sequenced packets handed to the injector (first copies)
+	Retransmits int64 // go-back-N resends after an RTO expiry
+	Acked       int64 // sequenced packets confirmed by a cumulative ACK
+	Drops       int64 // copies lost by the injector (incl. down-link losses)
+	DupsSent    int64 // extra copies injected by the duplicator
+	Corrupts    int64 // copies delivered with a failing checksum
+	Flaps       int64 // link-down windows started
+	FlapRecover int64 // first successful injection after a down window
+	Unreachable int64 // peers this rank declared unreachable
+
+	DupDrops     int64 // received copies below the expected sequence (dedup)
+	GapDrops     int64 // received copies above the expected sequence (go-back-N)
+	CorruptDrops int64 // received copies discarded by the checksum
+	AcksSent     int64 // cumulative ACK packets sent
+	AcksDropped  int64 // ACK packets lost by the injector
+}
+
+// linkKey identifies a directed internode link.
+type linkKey struct{ src, dst int }
+
+// faultState is the per-Network injector + reliability-sublayer state. Like
+// everything in the fabric it is owned by the simulation's single-threaded
+// event loop.
+type faultState struct {
+	nw  *Network
+	fp  FaultProfile
+	rng *sim.RNG
+
+	links     map[linkKey]*relLink
+	downUntil map[linkKey]sim.Time // flap windows per directed link
+	flapped   map[linkKey]bool     // down window seen, recovery not yet counted
+	stats     []RelStats           // per rank
+}
+
+func newFaultState(nw *Network, fp FaultProfile) *faultState {
+	if fp.RTO <= 0 {
+		fp.RTO = 4 * (nw.Cfg.Alpha + nw.Cfg.AckLatency)
+	}
+	return &faultState{
+		nw:        nw,
+		fp:        fp,
+		rng:       sim.NewRNG(fp.Seed),
+		links:     make(map[linkKey]*relLink),
+		downUntil: make(map[linkKey]sim.Time),
+		flapped:   make(map[linkKey]bool),
+		stats:     make([]RelStats, nw.N()),
+	}
+}
+
+// link returns (creating lazily) the directed-link ARQ state src->dst.
+func (fs *faultState) link(src, dst int) *relLink {
+	key := linkKey{src, dst}
+	l, ok := fs.links[key]
+	if !ok {
+		l = &relLink{fs: fs, src: src, dst: dst}
+		l.timer = fs.nw.K.NewTimer(l.onTimer)
+		fs.links[key] = l
+	}
+	return l
+}
+
+// rankDown reports whether rank r is inside a stall window or permanently
+// dead at time now.
+func (fs *faultState) rankDown(r int, now sim.Time) bool {
+	fp := &fs.fp
+	if fp.StallRank == r && fp.StallFor > 0 &&
+		now >= fp.StallFrom && now < fp.StallFrom+fp.StallFor {
+		return true
+	}
+	return fp.DeadRank == r && now >= fp.DeadFrom
+}
+
+// linkDown reports whether the directed link is unable to carry packets at
+// time now (flap window, endpoint stall, or dead endpoint).
+func (fs *faultState) linkDown(key linkKey, now sim.Time) bool {
+	if until, ok := fs.downUntil[key]; ok && now < until {
+		return true
+	}
+	return fs.rankDown(key.src, now) || fs.rankDown(key.dst, now)
+}
+
+// inject passes one copy of p through the adversary and, if it survives,
+// schedules its arrival at the receive side of the reliability sublayer.
+// The RNG consumption order per call is fixed (down-check, flap, drop, dup,
+// corrupt, jitter), which is what keeps schedules reproducible.
+func (fs *faultState) inject(p *Packet) {
+	fp := &fs.fp
+	now := fs.nw.K.Now()
+	key := linkKey{p.Src, p.Dst}
+	st := &fs.stats[p.Src]
+	if fs.linkDown(key, now) {
+		st.Drops++
+		return
+	}
+	if fs.flapped[key] {
+		delete(fs.flapped, key)
+		st.FlapRecover++
+	}
+	if fp.Flap > 0 && fs.rng.Float64() < fp.Flap {
+		fs.downUntil[key] = now + fp.FlapDown
+		fs.flapped[key] = true
+		st.Flaps++
+		st.Drops++ // the packet that found the link failing is lost too
+		return
+	}
+	if fp.Drop > 0 && fs.rng.Float64() < fp.Drop {
+		st.Drops++
+		return
+	}
+	delay := fs.nw.Cfg.Alpha + fs.jitter()
+	if fp.Dup > 0 && fs.rng.Float64() < fp.Dup {
+		st.DupsSent++
+		fs.nw.K.AfterCall(delay+fs.nw.Cfg.Alpha+fs.jitter(), relDeliver, p)
+	}
+	if fp.Corrupt > 0 && fs.rng.Float64() < fp.Corrupt {
+		// Deliver a corrupted copy instead of the clean one; the retransmit
+		// buffer keeps the pristine packet, so recovery delivers clean data.
+		st.Corrupts++
+		cp := &Packet{}
+		*cp = *p
+		cp.pooled = false
+		cp.corrupt = true
+		fs.nw.K.AfterCall(delay, relDeliver, cp)
+		return
+	}
+	fs.nw.K.AfterCall(delay, relDeliver, p)
+}
+
+// jitter draws one uniform delay in [0, JitterMax].
+func (fs *faultState) jitter() sim.Time {
+	if fs.fp.JitterMax <= 0 {
+		return 0
+	}
+	return fs.rng.Int63n(fs.fp.JitterMax + 1)
+}
+
+// relDeliver is the shared arrival callback for sublayer-owned packets.
+func relDeliver(x any) {
+	p := x.(*Packet)
+	p.nw.faults.recvReliable(p)
+}
+
+// --- Observability ----------------------------------------------------- //
+
+// RelStats returns rank r's reliability/injector counters (zero when fault
+// injection is disabled).
+func (nw *Network) RelStats(r int) RelStats {
+	if nw.faults == nil {
+		return RelStats{}
+	}
+	return nw.faults.stats[r]
+}
+
+// FaultDiag renders rank r's per-link reliability state for watchdog and
+// deadlock reports: pending retransmit timers, unacked depths and link
+// up/down/dead status, so a fault-induced stall is distinguishable from a
+// protocol deadlock. Returns "" when fault injection is disabled or the
+// rank has no link activity.
+func (nw *Network) FaultDiag(r int) string {
+	fs := nw.faults
+	if fs == nil {
+		return ""
+	}
+	now := nw.K.Now()
+	keys := make([]linkKey, 0, len(fs.links))
+	for key := range fs.links {
+		if key.src == r || key.dst == r {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	var b strings.Builder
+	for _, key := range keys {
+		l := fs.links[key]
+		state := "up"
+		switch {
+		case l.dead:
+			state = "DEAD (peer declared unreachable)"
+		case fs.linkDown(key, now):
+			if until, ok := fs.downUntil[key]; ok && now < until {
+				state = fmt.Sprintf("down (flap, up at t=%d)", until)
+			} else {
+				state = "down (rank stalled or dead)"
+			}
+		}
+		fmt.Fprintf(&b, "link %d->%d: %s nextSeq=%d expect=%d unacked=%d retries=%d",
+			key.src, key.dst, state, l.nextSeq, l.expect, len(l.unacked), l.retries)
+		if l.timer.Armed() {
+			fmt.Fprintf(&b, " rto@t=%d", l.timer.Deadline())
+		}
+		b.WriteByte('\n')
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	st := fs.stats[r]
+	fmt.Fprintf(&b, "rel stats: sent=%d retx=%d acked=%d drops=%d dupdrop=%d gapdrop=%d corruptdrop=%d flaps=%d",
+		st.Sent, st.Retransmits, st.Acked, st.Drops, st.DupDrops, st.GapDrops, st.CorruptDrops, st.Flaps)
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -28,6 +28,17 @@ type Network struct {
 	Delivered int64
 	// BytesMoved counts total payload bytes delivered.
 	BytesMoved int64
+
+	// faults, when non-nil, routes every internode packet through the
+	// deterministic fault injector and the go-back-N reliability sublayer
+	// (fault.go, reliable.go). nil — the default — keeps the lossless
+	// zero-allocation pipeline untouched but for one pointer check.
+	faults *faultState
+
+	// onUnreachable is invoked (in kernel context) when rank local's
+	// reliability sublayer exhausts its retries toward peer and declares it
+	// unreachable. internal/core installs its error-propagation hook here.
+	onUnreachable func(local, peer int)
 }
 
 type fifoKey struct{ src, dst int }
@@ -87,12 +98,39 @@ func (nw *Network) NIC(r int) *NIC { return nw.nics[r] }
 // RegCache returns rank r's memory-registration cache.
 func (nw *Network) RegCache(r int) *RegCache { return nw.regs[r] }
 
+// EnableFaults switches the network's internode paths onto the fault
+// injector and reliability sublayer described by fp. Call before any
+// traffic flows; the schedule is fully determined by fp (including
+// fp.Seed), so runs replay bit for bit.
+func (nw *Network) EnableFaults(fp FaultProfile) {
+	if nw.faults != nil {
+		panic("fabric: EnableFaults called twice")
+	}
+	nw.faults = newFaultState(nw, fp)
+}
+
+// FaultsEnabled reports whether the network runs with fault injection.
+func (nw *Network) FaultsEnabled() bool { return nw.faults != nil }
+
+// SetUnreachableHandler installs the callback fired when a rank declares a
+// peer unreachable (reliability-sublayer retry exhaustion).
+func (nw *Network) SetUnreachableHandler(fn func(local, peer int)) { nw.onUnreachable = fn }
+
+// PeerUnreachable reports whether rank local has declared peer unreachable.
+func (nw *Network) PeerUnreachable(local, peer int) bool {
+	if nw.faults == nil {
+		return false
+	}
+	l, ok := nw.faults.links[linkKey{local, peer}]
+	return ok && l.dead
+}
+
 // Send injects packet p at its source NIC. Internode packets traverse the
 // injection pipeline under flow control; same-node packets take the
 // shared-memory path (no pipeline, no credits).
 func (nw *Network) Send(p *Packet) {
-	if p.Src < 0 || p.Src >= len(nw.nics) || p.Dst < 0 || p.Dst >= len(nw.nics) {
-		panic(fmt.Sprintf("fabric: send with bad endpoints src=%d dst=%d n=%d", p.Src, p.Dst, len(nw.nics)))
+	if err := p.Validate(len(nw.nics)); err != nil {
+		panic("fabric: send: " + err.Error())
 	}
 	if nw.Cfg.SameNode(p.Src, p.Dst) {
 		d := nw.Cfg.AlphaIntra + nw.Cfg.IntraCopyTime(p.Size)
@@ -119,6 +157,12 @@ func deliverLocal(x any) {
 // deliver hands p to the destination handler and updates statistics. A
 // pooled packet is recycled as soon as the handler returns.
 func (nw *Network) deliver(p *Packet) {
+	// Receive-side validation: a packet whose framing was mangled anywhere
+	// between injection and delivery fails here with fabric context instead
+	// of panicking deep inside the RMA protocol layer.
+	if err := p.Validate(len(nw.nics)); err != nil {
+		panic("fabric: deliver: " + err.Error())
+	}
 	nw.Delivered++
 	nw.BytesMoved += p.Size
 	h := nw.handlers[p.Dst]

@@ -163,6 +163,12 @@ func descTxDone(x any) {
 		d.pkt.OnTxDone()
 	}
 	k := n.nw.K
+	if fs := n.nw.faults; fs != nil {
+		// Faulty fabric: the reliability sublayer owns delivery, credit
+		// return and the descriptor from here on.
+		fs.sendReliable(d)
+		return
+	}
 	if n.creditInit > 0 {
 		// The credit-return event runs after the delivery event (it is
 		// scheduled later at >= the same time), and owns freeing d.

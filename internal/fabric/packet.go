@@ -1,5 +1,7 @@
 package fabric
 
+import "fmt"
+
 // Kind tags the protocol family of a packet. The fabric itself is agnostic
 // to kinds; they exist so a single per-rank delivery handler can demultiplex.
 type Kind uint8
@@ -31,6 +33,11 @@ const (
 	KindLockGrant  // lock granted notification
 	KindUnlock     // lock release (ordered after the epoch's RMA)
 	KindFlushAck   // remote-completion acknowledgement for flushes
+	// Reliability sublayer (internal to the fabric; never reaches handlers).
+	KindAck // go-back-N cumulative acknowledgement
+
+	// kindCount bounds the valid kind range for receive-side validation.
+	kindCount
 )
 
 // Packet is one message on the wire. Size is what the latency model charges
@@ -51,6 +58,19 @@ type Packet struct {
 	// origin buffer is reusable). Same-node packets fire it at delivery.
 	OnTxDone func()
 
+	// Seq and Ack are reliability-sublayer fields, populated only when the
+	// network runs with fault injection enabled: Seq is the per-directed-link
+	// go-back-N sequence number, Ack piggybacks the sender's cumulative
+	// receive state for the reverse direction.
+	Seq uint64
+	Ack uint64
+
+	// rel marks a packet owned by the reliability sublayer (a stable,
+	// non-pooled retransmission copy); corrupt models a payload whose
+	// checksum fails at the receiver, so it must be dropped there.
+	rel     bool
+	corrupt bool
+
 	// nw and pooled link the packet to the Network free-list it came from
 	// (see Network.AllocPacket). Pooled packets are recycled automatically
 	// after their delivery handler returns, so a handler that needs packet
@@ -58,4 +78,24 @@ type Packet struct {
 	// literals have pooled == false and are never recycled.
 	nw     *Network
 	pooled bool
+}
+
+// Validate checks the packet's addressing and framing fields against a
+// network of n ranks. It exists so a corrupted or malformed packet raises a
+// contextual fabric-level error at the receive boundary instead of an
+// unattributable panic deep inside the RMA protocol layer.
+func (p *Packet) Validate(n int) error {
+	if p.Src < 0 || p.Src >= n {
+		return fmt.Errorf("fabric: packet kind %d: source rank %d out of range (n=%d)", p.Kind, p.Src, n)
+	}
+	if p.Dst < 0 || p.Dst >= n {
+		return fmt.Errorf("fabric: packet kind %d from %d: destination rank %d out of range (n=%d)", p.Kind, p.Src, p.Dst, n)
+	}
+	if p.Size < 0 {
+		return fmt.Errorf("fabric: packet kind %d from %d to %d: negative size %d", p.Kind, p.Src, p.Dst, p.Size)
+	}
+	if p.Kind >= kindCount {
+		return fmt.Errorf("fabric: unknown packet kind %d from %d to %d", p.Kind, p.Src, p.Dst)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/par"
 )
 
@@ -14,13 +15,18 @@ import (
 type Failure struct {
 	Seed     uint64
 	Mode     core.Mode
+	Lossy    bool // failed over the fault-injecting fabric
 	Problems []string
 }
 
 // String renders the failure with its reproduction recipe.
 func (f Failure) String() string {
-	return fmt.Sprintf("seed=%d mode=%s:\n  %s\n  reproduce: go run ./cmd/fuzz -seed %d -n 1",
-		f.Seed, f.Mode, strings.Join(f.Problems, "\n  "), f.Seed)
+	lossy := ""
+	if f.Lossy {
+		lossy = " -lossy"
+	}
+	return fmt.Sprintf("seed=%d mode=%s%s:\n  %s\n  reproduce: go run ./cmd/fuzz -seed %d -n 1%s",
+		f.Seed, f.Mode, lossy, strings.Join(f.Problems, "\n  "), f.Seed, lossy)
 }
 
 // Options configures a fuzzing campaign.
@@ -39,6 +45,12 @@ type Options struct {
 	// Progress, when non-nil, is called after each program, in seed order,
 	// with running totals (programs done, failures so far).
 	Progress func(done, failures int)
+	// Lossy executes every seed over a fault-injecting fabric with the
+	// recoverable schedule LossyProfile(seed) derives: drops, duplicates,
+	// corruption, jitter and link flaps, all repaired by the reliability
+	// sublayer — so the very same invariants must hold as on a pristine
+	// network.
+	Lossy bool
 }
 
 // BothModes is the default mode set.
@@ -47,10 +59,22 @@ var BothModes = []core.Mode{core.ModeNew, core.ModeVanilla}
 // CheckSeed generates the program for one seed, executes it under mode and
 // verifies all invariants. nil means the run is clean.
 func CheckSeed(seed uint64, mode core.Mode) *Failure {
+	return CheckSeedFaults(seed, mode, false)
+}
+
+// CheckSeedFaults is CheckSeed with an optional lossy fabric (see
+// Options.Lossy). The fault schedule is a pure function of the seed, so a
+// lossy failure reproduces exactly like a pristine one.
+func CheckSeedFaults(seed uint64, mode core.Mode, lossy bool) *Failure {
 	p := Generate(seed)
-	res := Execute(p, mode)
+	var fp *fabric.FaultProfile
+	if lossy {
+		prof := LossyProfile(seed)
+		fp = &prof
+	}
+	res := ExecuteFaults(p, mode, fp)
 	if problems := Verify(p, mode, res); len(problems) > 0 {
-		return &Failure{Seed: seed, Mode: mode, Problems: problems}
+		return &Failure{Seed: seed, Mode: mode, Lossy: lossy, Problems: problems}
 	}
 	return nil
 }
@@ -68,7 +92,7 @@ func Campaign(o Options) []Failure {
 		seed := o.Seed + uint64(i)
 		var fs []Failure
 		for _, mode := range modes {
-			if f := CheckSeed(seed, mode); f != nil {
+			if f := CheckSeedFaults(seed, mode, o.Lossy); f != nil {
 				fs = append(fs, *f)
 			}
 		}

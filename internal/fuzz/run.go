@@ -23,18 +23,56 @@ type RunResult struct {
 // eventBudget bounds the kernel event count for the watchdog: generously
 // above anything a healthy program of this size needs, so only a livelock
 // (or a deadlock, which the kernel reports on its own) can exhaust it.
-func eventBudget(p *Program) uint64 {
-	return 500_000 + 50_000*uint64(p.NRanks*len(p.Rounds)) + 5_000*uint64(p.OpCount())
+// Lossy runs get 4x headroom — retransmissions, duplicate deliveries and
+// dedicated ACK packets all burn extra events on healthy executions.
+func eventBudget(p *Program, lossy bool) uint64 {
+	b := 500_000 + 50_000*uint64(p.NRanks*len(p.Rounds)) + 5_000*uint64(p.OpCount())
+	if lossy {
+		b *= 4
+	}
+	return b
+}
+
+// LossyProfile derives a recoverable-by-construction fault schedule from a
+// seed: packet loss around 1e-3 plus light duplication, corruption, delay
+// jitter and link flaps, with an unlimited retransmission budget — so every
+// loss is eventually repaired and the sequential-memory oracle must still
+// hold. The schedule itself varies with the seed (both through the injector
+// RNG and through the seed-dependent drop rate).
+func LossyProfile(seed uint64) fabric.FaultProfile {
+	fp := fabric.DefaultFaultProfile(seed)
+	// Spread the drop rate over [0.5e-3, 1.5e-3] so campaigns sweep a band
+	// of loss regimes rather than one point. Cheap splitmix-style mixing —
+	// must not consume the injector's own RNG stream.
+	mix := seed * 0x9e3779b97f4a7c15
+	mix ^= mix >> 33
+	fp.Drop = 1e-3 * (0.5 + float64(mix%1000)/1000.0)
+	fp.Dup = 1e-3
+	fp.Corrupt = 5e-4
+	fp.JitterMax = 1 * sim.Microsecond
+	fp.Flap = 1e-4
+	fp.FlapDown = 20 * sim.Microsecond
+	fp.MaxRetries = 0 // retry forever: lossy but never unreachable
+	return fp
 }
 
 // Execute runs the program under the given mode and snapshots the outcome.
 // Deadlocks and livelocks surface in RunResult.Err via the kernel watchdog
 // instead of hanging the process.
 func Execute(p *Program, mode core.Mode) *RunResult {
+	return ExecuteFaults(p, mode, nil)
+}
+
+// ExecuteFaults is Execute over a fault-injecting fabric; fp == nil runs
+// the pristine network.
+func ExecuteFaults(p *Program, mode core.Mode, fp *fabric.FaultProfile) *RunResult {
 	cfg := fabric.DefaultConfig()
 	cfg.ProcsPerNode = p.ProcsPerNode
 	world := mpi.NewWorld(p.NRanks, cfg)
-	world.K.SetWatchdog(eventBudget(p), 0)
+	if fp != nil {
+		world.Net.EnableFaults(*fp)
+	}
+	world.K.SetWatchdog(eventBudget(p, fp != nil), 0)
 	world.K.EnableDiagnostics()
 	rt := core.NewRuntime(world)
 	rec := trace.NewRecorder()

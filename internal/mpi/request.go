@@ -7,6 +7,7 @@ package mpi
 type Request struct {
 	rank *Rank
 	done bool
+	err  error   // failure cause; the request is done but unsuccessful
 	data []byte  // received payload, for receive requests
 	recv *recvOp // receive bookkeeping, for receive requests
 
@@ -37,6 +38,27 @@ func (q *Request) OnComplete(fn func()) {
 		return
 	}
 	q.onComplete = append(q.onComplete, fn)
+}
+
+// Err returns the failure that completed the request, or nil for a pending
+// or successful request. Waiters that observe Done must check Err before
+// trusting the operation's effects.
+func (q *Request) Err() error {
+	if q == nil {
+		return nil
+	}
+	return q.err
+}
+
+// Fail completes the request unsuccessfully: waiters wake as with Complete,
+// but Err reports the cause. internal/core uses it to unwind epoch waiters
+// when an epoch aborts instead of completing. A no-op on a done request.
+func (q *Request) Fail(err error) {
+	if q.done {
+		return
+	}
+	q.err = err
+	q.Complete()
 }
 
 // Complete marks the request done, runs hooks and wakes the owning rank.

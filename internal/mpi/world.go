@@ -32,6 +32,18 @@ func NewWorld(n int, cfg fabric.Config) *World {
 		r := w.ranks[i]
 		w.Net.SetHandler(i, r.onDeliver)
 	}
+	// Deadlock/watchdog reports include the fabric's per-link reliability
+	// state (retransmit timers, flap windows, dead peers) for the blocked
+	// rank, so a fault-induced stall reads differently from a protocol
+	// deadlock. Contributes nothing when fault injection is off.
+	k.AddDiagProvider(func(p *sim.Proc) string {
+		for _, r := range w.ranks {
+			if r.Proc == p {
+				return w.Net.FaultDiag(r.ID)
+			}
+		}
+		return ""
+	})
 	return w
 }
 

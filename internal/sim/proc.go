@@ -32,7 +32,13 @@ func (p *Proc) run(body func(*Proc)) {
 	defer func() {
 		p.finished = true
 		if r := recover(); r != nil {
-			p.k.abort(fmt.Errorf("sim: proc %q panicked: %v", p.Name, r))
+			// Error panics are wrapped (%w) so callers of Kernel.Run can
+			// unwrap typed failures — e.g. core's *RMAError — with errors.As.
+			if err, ok := r.(error); ok {
+				p.k.abort(fmt.Errorf("sim: proc %q panicked: %w", p.Name, err))
+			} else {
+				p.k.abort(fmt.Errorf("sim: proc %q panicked: %v", p.Name, r))
+			}
 		}
 		p.k.yield <- struct{}{}
 	}()
@@ -71,7 +77,8 @@ func (p *Proc) waitSite() string {
 	for {
 		f, more := frames.Next()
 		inSim := strings.Contains(f.File, "internal/sim/") && !strings.HasSuffix(f.File, "_test.go")
-		if f.File != "" && !inSim && !strings.Contains(f.Function, "runtime.") {
+		inMPIWait := strings.HasSuffix(f.File, "internal/mpi/rank.go")
+		if f.File != "" && !inSim && !inMPIWait && !strings.Contains(f.Function, "runtime.") {
 			sites = append(sites, fmt.Sprintf("%s:%d", trimPath(f.File), f.Line))
 			if len(sites) == 3 {
 				break

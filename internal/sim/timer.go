@@ -1,0 +1,52 @@
+package sim
+
+// Timer is a reschedulable one-shot virtual-time timer, the primitive the
+// fabric's reliability sublayer builds retransmission timeouts on. A Timer
+// never cancels events already in the kernel heap: Reset simply schedules a
+// new firing, and stale firings recognize themselves (armed flag cleared or
+// deadline moved) and become no-ops. That keeps Stop/Reset O(1) and — since
+// the firing callback is a shared, capture-free function — steady-state
+// rearming allocates nothing.
+type Timer struct {
+	k     *Kernel
+	fn    func()
+	at    Time
+	armed bool
+}
+
+// NewTimer returns a stopped timer that runs fn in kernel context when it
+// fires. fn is fixed for the timer's lifetime.
+func (k *Kernel) NewTimer(fn func()) *Timer {
+	return &Timer{k: k, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d nanoseconds of virtual time from now,
+// superseding any earlier deadline.
+func (t *Timer) Reset(d Time) {
+	t.at = t.k.now + d
+	t.armed = true
+	t.k.AtCall(t.at, timerFire, t)
+}
+
+// Stop disarms the timer. An already-scheduled firing becomes a no-op; it
+// is safe to Stop a stopped timer.
+func (t *Timer) Stop() { t.armed = false }
+
+// Armed reports whether a firing is pending.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline returns the pending firing time; meaningless unless Armed.
+func (t *Timer) Deadline() Time { return t.at }
+
+// timerFire is the shared kernel callback behind every Timer. The guard
+// makes superseded events inert: only the event matching the current
+// deadline of a currently-armed timer runs fn. (Two Resets to the same
+// deadline fire fn once — the first event disarms the timer.)
+func timerFire(x any) {
+	t := x.(*Timer)
+	if !t.armed || t.at != t.k.now {
+		return
+	}
+	t.armed = false
+	t.fn()
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	k := NewKernel()
+	fired := Time(-1)
+	tm := k.NewTimer(func() { fired = k.Now() })
+	tm.Reset(10)
+	if !tm.Armed() || tm.Deadline() != 10 {
+		t.Fatalf("armed=%v deadline=%d, want armed at 10", tm.Armed(), tm.Deadline())
+	}
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Fatalf("fired at %d, want 10", fired)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	tm := k.NewTimer(func() { fired++ })
+	tm.Reset(10)
+	tm.Stop()
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("stopped timer fired %d times", fired)
+	}
+}
+
+// A Reset that moves the deadline later must supersede the earlier event.
+func TestTimerResetLater(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	tm := k.NewTimer(func() { times = append(times, k.Now()) })
+	tm.Reset(10)
+	tm.Reset(20)
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 1 || times[0] != 20 {
+		t.Fatalf("fired at %v, want exactly [20]", times)
+	}
+}
+
+// A Reset that moves the deadline earlier fires at the earlier time, and
+// the stale later event must not fire again.
+func TestTimerResetEarlier(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	tm := k.NewTimer(func() { times = append(times, k.Now()) })
+	tm.Reset(20)
+	tm.Reset(5)
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 1 || times[0] != 5 {
+		t.Fatalf("fired at %v, want exactly [5]", times)
+	}
+}
+
+// Stop followed by Reset to the exact same deadline must fire exactly once
+// (two heap events exist for the same instant; the first disarms).
+func TestTimerStopThenResetSameDeadline(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	tm := k.NewTimer(func() { fired++ })
+	tm.Reset(10)
+	tm.Stop()
+	tm.Reset(10)
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+}
+
+// Rearming from inside the callback (the retransmission-backoff pattern)
+// must keep firing at each new deadline.
+func TestTimerRearmFromCallback(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	var tm *Timer
+	tm = k.NewTimer(func() {
+		times = append(times, k.Now())
+		if len(times) < 3 {
+			tm.Reset(10)
+		}
+	})
+	tm.Reset(10)
+	if err := k.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30}
+	if len(times) != 3 || times[0] != want[0] || times[1] != want[1] || times[2] != want[2] {
+		t.Fatalf("fired at %v, want %v", times, want)
+	}
+}
+
+// Steady-state rearming must not allocate (the shared timerFire callback
+// keeps the ARQ retransmit path off the heap).
+func TestTimerAllocs(t *testing.T) {
+	k := NewKernel()
+	tm := k.NewTimer(func() {})
+	for i := 0; i < 64; i++ {
+		tm.Reset(Time(i % 5))
+		k.Drain()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tm.Reset(3)
+		k.Drain()
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+fire: %.1f allocs/run, want 0", allocs)
+	}
+}
