@@ -1,13 +1,16 @@
 // Command epochbench regenerates the paper's microbenchmark figures
 // (Figs 2-11 and the Section VIII-A latency/overlap observations), plus
-// figure 14 — this repo's fault-sweep extension: epoch latency vs fabric
-// drop rate, blocking against nonblocking (the paper's figures 12-13 are
-// the cmd/txn and cmd/lu applications) — and prints paper-style tables.
+// this repo's extensions: figure 14, the fault sweep (epoch latency vs
+// fabric drop rate; the paper's figures 12-13 are the cmd/txn and cmd/lu
+// applications), and the "scale" figure (epoch synchronization at 64-512
+// ranks on a congested fat-tree) — and prints paper-style tables.
 //
 // Usage:
 //
 //	epochbench                 # all microbenchmark figures
+//	epochbench -list           # enumerate figure ids with descriptions
 //	epochbench -fig 6          # one figure
+//	epochbench -fig scale      # the fat-tree scaling figure
 //	epochbench -iters 100      # paper-style 100-iteration averaging
 //	epochbench -workers 1      # serial (output is identical at any count)
 //	epochbench -cpuprofile cpu.out -memprofile mem.out -trace trace.out
@@ -17,51 +20,85 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
 
+// experiment is one runnable figure: its id (the -fig argument), the
+// paper figure it maps to (or the repo extension it is), and a one-line
+// description for -list.
+type experiment struct {
+	id    string
+	paper string
+	desc  string
+	run   func(iters int) fmt.Stringer
+}
+
+var experiments = []experiment{
+	{"2", "paper Fig 2", "Late Post: GATS latency when one target posts 1000us late",
+		func(n int) fmt.Stringer { return bench.Fig2LatePost(n) }},
+	{"3", "paper Fig 3", "Late Complete: delay propagation to Wait vs message size",
+		func(n int) fmt.Stringer { return bench.Fig3LateComplete(n, bench.SweepSizes) }},
+	{"4", "paper Fig 4", "Early Fence: fence latency when one rank arrives early",
+		func(n int) fmt.Stringer { return bench.Fig4EarlyFence(n) }},
+	{"5", "paper Fig 5", "Wait at Fence: late-rank delay propagation vs message size",
+		func(n int) fmt.Stringer { return bench.Fig5WaitAtFence(n, bench.SweepSizes) }},
+	{"6", "paper Fig 6", "Late Unlock: lock-epoch latency behind a slow holder",
+		func(n int) fmt.Stringer { return bench.Fig6LateUnlock(n) }},
+	{"7", "paper Fig 7", "A_A_A_R optimization, GATS: activation batching",
+		func(n int) fmt.Stringer { return bench.Fig7AAARGats(n) }},
+	{"8", "paper Fig 8", "A_A_A_R optimization, lock epochs",
+		func(n int) fmt.Stringer { return bench.Fig8AAARLock(n) }},
+	{"9", "paper Fig 9", "AAER: access epoch progressing inside an open exposure epoch",
+		func(n int) fmt.Stringer { return bench.Fig9AAER(n) }},
+	{"10", "paper Fig 10", "EAER: exposure epochs back to back",
+		func(n int) fmt.Stringer { return bench.Fig10EAER(n) }},
+	{"11", "paper Fig 11", "EAAR: exposure epoch progressing inside an access epoch",
+		func(n int) fmt.Stringer { return bench.Fig11EAAR(n) }},
+	{"14", "repo extension", "Fault sweep: epoch latency vs fabric drop rate under the ARQ",
+		func(n int) fmt.Stringer { return bench.FigFaultSweep(n) }},
+	{"scale", "repo extension", "Scaling: GATS epoch at 64-512 ranks on a fixed-core fat-tree, congestion-attributed",
+		func(n int) fmt.Stringer { return bench.FigScale(n) }},
+}
+
 func main() {
-	fig := flag.Int("fig", 0, "figure to run (2-11, or 14 for the fault sweep); 0 = all, plus the VIII-A tables")
+	fig := flag.String("fig", "", "figure to run (see -list); empty = all, plus the VIII-A tables")
 	iters := flag.Int("iters", 10, "iterations to average per measurement")
+	list := flag.Bool("list", false, "list available figure ids and exit")
 	pf := bench.RegisterFlags()
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-6s %-14s %s\n", e.id, e.paper, e.desc)
+		}
+		fmt.Printf("%-6s %-14s %s\n", "(all)", "paper VIII-A", "latency parity and overlap tables, appended to a full run")
+		return
+	}
+
 	stop := pf.Start()
 	defer stop()
 
-	type exp struct {
-		id  int
-		run func() fmt.Stringer
-	}
-	experiments := []exp{
-		{2, func() fmt.Stringer { return bench.Fig2LatePost(*iters) }},
-		{3, func() fmt.Stringer { return bench.Fig3LateComplete(*iters, bench.SweepSizes) }},
-		{4, func() fmt.Stringer { return bench.Fig4EarlyFence(*iters) }},
-		{5, func() fmt.Stringer { return bench.Fig5WaitAtFence(*iters, bench.SweepSizes) }},
-		{6, func() fmt.Stringer { return bench.Fig6LateUnlock(*iters) }},
-		{7, func() fmt.Stringer { return bench.Fig7AAARGats(*iters) }},
-		{8, func() fmt.Stringer { return bench.Fig8AAARLock(*iters) }},
-		{9, func() fmt.Stringer { return bench.Fig9AAER(*iters) }},
-		{10, func() fmt.Stringer { return bench.Fig10EAER(*iters) }},
-		{11, func() fmt.Stringer { return bench.Fig11EAAR(*iters) }},
-		{14, func() fmt.Stringer { return bench.FigFaultSweep(*iters) }},
-	}
-
 	ran := false
 	for _, e := range experiments {
-		if *fig != 0 && *fig != e.id {
+		if *fig != "" && *fig != e.id {
 			continue
 		}
-		fmt.Println(e.run())
+		fmt.Println(e.run(*iters))
 		ran = true
 	}
-	if *fig == 0 {
+	if *fig == "" {
 		fmt.Println(bench.LatencyParity(*iters, 1<<20))
 		fmt.Println(bench.OverlapTable(*iters))
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "epochbench: unknown figure %d (valid: 2-11, 14)\n", *fig)
+		ids := make([]string, len(experiments))
+		for i, e := range experiments {
+			ids[i] = e.id
+		}
+		fmt.Fprintf(os.Stderr, "epochbench: unknown figure %q (valid: %s; see -list)\n", *fig, strings.Join(ids, ", "))
 		stop()
 		os.Exit(2)
 	}

@@ -16,11 +16,16 @@
 //	go run ./cmd/fuzz -n 2000 -workers 8     # large campaign, 8 cores
 //	go run ./cmd/fuzz -seed 1234 -n 1 -v     # replay one seed verbosely
 //	go run ./cmd/fuzz -n 200 -lossy          # drops/dups/flaps under the ARQ
+//	go run ./cmd/fuzz -n 100 -topo fattree   # route over a congested fat-tree
 //
 // With -lossy every seed runs over a fault-injecting fabric (drop rate
 // around 1e-3 plus duplicates, corruption, jitter and link flaps — see
-// fuzz.LossyProfile). The schedule is a pure function of the seed, so a
-// lossy failure replays exactly like a pristine one.
+// fuzz.LossyProfile). With -topo every seed routes its internode packets
+// over a modeled interconnect (ring, torus or fattree) with a seed-varied
+// shape — small switch radixes and tight link credits, where arbitration
+// and bubble flow control actually bite (see fuzz.TopoSpec); the two
+// compose. Either way the schedule is a pure function of the seed and the
+// flags, so a failure replays exactly like a pristine one.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/fuzz"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -38,10 +44,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "first seed")
 	mode := flag.String("mode", "both", "modes to run: both, new or vanilla")
 	lossy := flag.Bool("lossy", false, "inject seeded fabric faults (recoverable schedule) under every run")
+	topoFlag := flag.String("topo", "", "route every run over a modeled interconnect: ring, torus or fattree (default: crossbar)")
 	verbose := flag.Bool("v", false, "describe each program as it runs")
 	pf := bench.RegisterFlags()
 	flag.Parse()
 	stop := pf.Start()
+
+	kind, err := topo.ParseKind(*topoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+		stop()
+		os.Exit(2)
+	}
 
 	var modes []core.Mode
 	switch *mode {
@@ -62,6 +76,7 @@ func main() {
 		Seed:  *seed,
 		Modes: modes,
 		Lossy: *lossy,
+		Topo:  kind,
 		Report: func(s uint64, fs []fuzz.Failure) {
 			if *verbose {
 				p := fuzz.Generate(s)
@@ -87,6 +102,9 @@ func main() {
 	fabricKind := "pristine fabric"
 	if *lossy {
 		fabricKind = "lossy fabric"
+	}
+	if kind != topo.Crossbar {
+		fabricKind += fmt.Sprintf(" (%s interconnect)", kind)
 	}
 	fmt.Printf("ok: %d programs x %d mode(s) over %s, all invariants held\n", *n, len(modes), fabricKind)
 	stop()

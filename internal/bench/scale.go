@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// FigScale: epoch synchronization at scale on a congested fat-tree.
+//
+// The rank count grows (64 -> 512 hosts) while the fabric core stays fixed
+// — ScaleLeaves leaf and ScaleSpines spine switches, the cluster-grows-
+// but-the-core-doesn't regime that caps the paper's 512-proc runs — so
+// leaf-uplink oversubscription climbs from 1:1 to 8:1 across the sweep and
+// every synchronization packet queues longer as ranks are added. Each
+// iteration every rank runs one both-roles GATS epoch against log2(n)
+// strided partners (a dissemination-style group whose long strides must
+// cross the spine layer) with a small put per partner, then ScaleWork of
+// independent computation. The blocking series pay the congested
+// synchronization on the critical path, so they degrade as ranks are
+// added; the nonblocking series overlaps it with the computation and stays
+// near the compute bound. The congestion tables attribute the gap: queued
+// time and credit stalls climb with the rank count for every series — the
+// nonblocking series does not avoid the contention, it hides it.
+//
+// Each (ranks, series) cell is an independent simulation, so the figure is
+// bit-identical at any -workers count.
+
+// Scale experiment parameters.
+const (
+	// ScaleWork is the per-iteration independent computation available for
+	// overlap — comfortably above the congested synchronization time at
+	// the largest rank count, so the nonblocking series stays flat.
+	ScaleWork = 1000 * sim.Microsecond
+	// ScaleChunk is the put payload per partner; small enough that the
+	// figure measures synchronization traffic, large enough that the
+	// traffic actually occupies shared links.
+	ScaleChunk = int64(8 << 10)
+	// ScaleLeaves and ScaleSpines fix the fabric core: ranks are packed
+	// onto the same ScaleLeaves leaf switches as the job grows, so hosts
+	// per leaf — and uplink oversubscription — grow linearly with n.
+	ScaleLeaves = 8
+	ScaleSpines = 8
+)
+
+// ScaleRanks is the swept job size (hosts on the fat-tree).
+var ScaleRanks = []int{64, 128, 256, 512}
+
+// ScaleReport bundles the scaling figure's latency table with the
+// congestion tables that attribute it.
+type ScaleReport struct {
+	Latency *stats.Table // mean per-iteration completion, us
+	Queued  *stats.Table // fabric link-queue time per iteration, us
+	Stalls  *stats.Table // credit-stall episodes per iteration
+}
+
+// String renders the three tables in presentation order.
+func (r *ScaleReport) String() string {
+	var b strings.Builder
+	b.WriteString(r.Latency.String())
+	b.WriteString(r.Queued.String())
+	b.WriteString(r.Stalls.String())
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// scaleMeasure is one cell's outcome.
+type scaleMeasure struct {
+	lat, queued, stalls float64
+}
+
+// FigScale measures the sweep, averaging iters epochs per cell.
+func FigScale(iters int) *ScaleReport {
+	rows := make([]string, len(ScaleRanks))
+	for i, n := range ScaleRanks {
+		rows[i] = fmt.Sprintf("%d", n)
+	}
+	cols := make([]string, len(AllSeries))
+	for i, s := range AllSeries {
+		cols[i] = s.String()
+	}
+	rep := &ScaleReport{
+		Latency: stats.NewTable("Scale: GATS epoch + overlap completion vs ranks (fat-tree, fixed core)", "us", "ranks", rows, cols),
+		Queued:  stats.NewTable("Scale: fabric link-queue time per iteration", "us", "ranks", rows, cols),
+		Stalls:  stats.NewTable("Scale: link credit-stall episodes per iteration", "", "ranks", rows, cols),
+	}
+	cells := par.Map(len(ScaleRanks)*len(AllSeries), func(j int) scaleMeasure {
+		ni, si := j/len(AllSeries), j%len(AllSeries)
+		return scaleCell(ScaleRanks[ni], AllSeries[si], iters)
+	})
+	for ni := range ScaleRanks {
+		for si, s := range AllSeries {
+			m := cells[ni*len(AllSeries)+si]
+			rep.Latency.Set(rows[ni], s.String(), m.lat)
+			rep.Queued.Set(rows[ni], s.String(), m.queued)
+			rep.Stalls.Set(rows[ni], s.String(), m.stalls)
+		}
+	}
+	return rep
+}
+
+// scaleGroup returns me's dissemination partners at strides n/2, n/4, .. 1
+// in direction dir (+1: access-side targets, -1: exposure-side origins —
+// the exposure group must be the inverse of the access group so every
+// posted exposure matches exactly the origins that will start toward it).
+func scaleGroup(n, me, dir int) []int {
+	var g []int
+	for d := n / 2; d >= 1; d /= 2 {
+		g = append(g, ((me+dir*d)%n+n)%n)
+	}
+	return g
+}
+
+// ScaleTopo returns the fat-tree shape for an n-rank job: the fixed
+// ScaleLeaves x ScaleSpines core with hosts packed evenly onto the leaves
+// (bandwidth and hop latency inherit the fabric calibration).
+func ScaleTopo(n int) topo.Spec {
+	perLeaf := (n + ScaleLeaves - 1) / ScaleLeaves
+	return topo.Spec{Kind: topo.FatTree, HostsPerLeaf: perLeaf, Spines: ScaleSpines}
+}
+
+// scaleCell runs one (ranks, series) cell: iters both-roles GATS epochs of
+// log2(n) strided partners with ScaleWork of computation each.
+func scaleCell(n int, s Series, iters int) scaleMeasure {
+	if n&(n-1) != 0 || n < 2 {
+		panic(fmt.Sprintf("bench: scale rank count %d is not a power of two", n))
+	}
+	var samples []sim.Time
+	cfg := Config()
+	cfg.Topo = ScaleTopo(n)
+	w := mpi.NewWorld(n, cfg)
+	rt := core.NewRuntime(w)
+	err := w.Run(func(r *mpi.Rank) {
+		// AAER lets the new design's access epoch progress inside the
+		// still-open exposure epoch (the both-roles pattern of Fig 9);
+		// vanilla activates every epoch immediately and ignores the info.
+		win := rt.CreateWindow(r, int64(n)*ScaleChunk, core.WinOptions{Mode: s.Mode(), ShapeOnly: true, Info: core.Info{AAER: true}})
+		tg := scaleGroup(n, r.ID, +1)
+		og := scaleGroup(n, r.ID, -1)
+		for it := 0; it < iters; it++ {
+			r.Barrier()
+			t0 := r.Now()
+			if s.Nonblocking() {
+				win.IPost(og)
+				win.IStart(tg)
+				for _, t := range tg {
+					win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
+				}
+				creq := win.IComplete()
+				wreq := win.IWait()
+				r.Compute(ScaleWork)
+				r.Wait(creq, wreq)
+			} else {
+				win.Post(og)
+				win.Start(tg)
+				for _, t := range tg {
+					win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
+				}
+				win.Complete()
+				win.WaitEpoch()
+				r.Compute(ScaleWork)
+			}
+			samples = append(samples, r.Now()-t0)
+		}
+		win.Quiesce()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: scale (n=%d, %s) failed: %v", n, s, err))
+	}
+	sum := w.Net.TopoSummary()
+	return scaleMeasure{
+		lat:    mean(samples),
+		queued: us(sum.QueuedTime) / float64(iters),
+		stalls: float64(sum.CreditStalls) / float64(iters),
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestScaleFigureShape pins the scaling figure's qualitative claim on the
+// real sweep (64-512 ranks on the fixed-core fat-tree): the blocking
+// series degrade as ranks are added, the nonblocking series stays near the
+// compute bound, and the congestion counters attribute the gap.
+func TestScaleFigureShape(t *testing.T) {
+	rep := FigScale(3)
+	first := rows(rep)[0]
+	last := rows(rep)[len(rows(rep))-1]
+
+	for _, s := range []Series{SeriesMVAPICH, SeriesNew} {
+		lo, hi := rep.Latency.Get(first, s.String()), rep.Latency.Get(last, s.String())
+		if hi-lo < 20 { // us; the probe shows ~70us of degradation
+			t.Errorf("%s: blocking latency grew only %.1f -> %.1f us from %s to %s ranks; congestion is not biting",
+				s, lo, hi, first, last)
+		}
+	}
+	nbLo := rep.Latency.Get(first, SeriesNewNB.String())
+	nbHi := rep.Latency.Get(last, SeriesNewNB.String())
+	if nbHi-nbLo > 10 { // us; stays within call-overhead growth of flat
+		t.Errorf("nonblocking latency grew %.1f -> %.1f us across the sweep; overlap is not hiding the congestion",
+			nbLo, nbHi)
+	}
+	for _, row := range rows(rep) {
+		nb := rep.Latency.Get(row, SeriesNewNB.String())
+		for _, s := range []Series{SeriesMVAPICH, SeriesNew} {
+			if bl := rep.Latency.Get(row, s.String()); nb >= bl {
+				t.Errorf("%s ranks: nonblocking (%.1f us) not below blocking %s (%.1f us)", row, nb, s, bl)
+			}
+		}
+	}
+	// Attribution: the fabric must actually be congested, increasingly so.
+	for _, s := range AllSeries {
+		qLo, qHi := rep.Queued.Get(first, s.String()), rep.Queued.Get(last, s.String())
+		if qLo <= 0 || qHi <= qLo {
+			t.Errorf("%s: link-queue time did not climb with ranks (%.1f -> %.1f us)", s, qLo, qHi)
+		}
+		if st := rep.Stalls.Get(last, s.String()); st <= 0 {
+			t.Errorf("%s: no credit stalls at %s ranks despite 8:1 oversubscription", s, last)
+		}
+	}
+}
+
+func rows(rep *ScaleReport) []string { return rep.Latency.Rows }
+
+// TestScaleDeterminismAcrossWorkers renders the full figure serially and
+// with four workers; the tables must match bit for bit (each cell is an
+// independent simulation, order restored by index).
+func TestScaleDeterminismAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(1)
+	serial := FigScale(2).String()
+	par.SetWorkers(4)
+	parallel := FigScale(2).String()
+	if serial != parallel {
+		t.Fatalf("scale figure differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

@@ -27,12 +27,16 @@ const (
 	traceLockGrant = trace.LockGranted
 )
 
-// emitEpoch records an epoch-lifecycle event.
+// emitEpoch records an epoch-lifecycle event. When the interconnect models
+// a real topology, epoch completion additionally emits a CongWait event
+// carrying the fabric-wide link-queue time accumulated since the epoch
+// opened, so trace analysis can attribute closing waits to contention.
 func (w *Window) emitEpoch(kind trace.Kind, ep *Epoch) {
 	rec := w.eng.rt.tracer
 	if rec == nil {
 		return
 	}
+	net := w.eng.rt.world.Net
 	rec.Record(trace.Event{
 		T:     w.eng.rt.world.K.Now(),
 		Rank:  w.rank.ID,
@@ -42,6 +46,24 @@ func (w *Window) emitEpoch(kind trace.Kind, ep *Epoch) {
 		Kind:  kind,
 		Peer:  -1,
 	})
+	if !net.TopoEnabled() {
+		return
+	}
+	switch kind {
+	case traceOpen:
+		ep.congOpen = int64(net.QueuedTotal())
+	case traceComplete:
+		rec.Record(trace.Event{
+			T:     w.eng.rt.world.K.Now(),
+			Rank:  w.rank.ID,
+			Win:   w.id,
+			Epoch: ep.seq,
+			Class: trace.EpochClass(ep.kind.String()),
+			Kind:  trace.CongWait,
+			Peer:  -1,
+			Size:  int64(net.QueuedTotal()) - ep.congOpen,
+		})
+	}
 }
 
 // emitArrival records a window-level arrival event (grant, done, data).

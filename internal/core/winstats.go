@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/sim"
+
 // WindowStats aggregates a window's lifetime activity; useful for
 // application-level reporting and for the benchmark harness.
 type WindowStats struct {
@@ -35,6 +37,34 @@ type FaultStats struct {
 	// Epoch-level error handling (per window; see errors.go).
 	EpochsAborted int64
 	Timeouts      int64
+}
+
+// CongestionStats aggregates the interconnect's congestion activity: link
+// arbitration and flow-control counters from the topology model
+// (internal/topo). Fabric-wide — links are shared by every rank and window
+// of the simulation — and all zero when the interconnect is the default
+// contention-free crossbar.
+type CongestionStats struct {
+	QueuedTime   sim.Time // total time packets waited in link queues
+	BusyTime     sim.Time // total wire occupancy across all links
+	CreditStalls int64    // head-of-line episodes stalled on link credits
+	Forwarded    int64    // link-level packet transmissions (hops)
+	Delivered    int64    // packets that completed their route
+	MaxQueue     int      // deepest link queue observed
+}
+
+// CongestionStats returns a snapshot of the interconnect's congestion
+// counters (zero when no topology is modeled).
+func (w *Window) CongestionStats() CongestionStats {
+	s := w.eng.rt.world.Net.TopoSummary()
+	return CongestionStats{
+		QueuedTime:   s.QueuedTime,
+		BusyTime:     s.BusyTime,
+		CreditStalls: s.CreditStalls,
+		Forwarded:    s.Forwarded,
+		Delivered:    s.Delivered,
+		MaxQueue:     s.MaxQueue,
+	}
 }
 
 // FaultStats returns a snapshot of the window's fault counters.

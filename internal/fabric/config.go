@@ -10,7 +10,12 @@
 // delivery handler that plays the role of NIC/HCA processing.
 package fabric
 
-import "repro/internal/sim"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
 
 // Config describes the performance characteristics of the interconnect.
 type Config struct {
@@ -58,6 +63,63 @@ type Config struct {
 	// issued back to back: blocking code pays it serially between
 	// completion waits, nonblocking code pays it up front, overlapped.
 	CallOverhead sim.Time
+
+	// Topo selects the interconnect topology and congestion model
+	// (internal/topo). The zero value is the ideal contention-free
+	// crossbar — today's fabric, bit for bit. Any other kind routes every
+	// internode packet hop by hop through shared links with bandwidth
+	// arbitration and credit flow control; zero link-model fields inherit
+	// the fabric calibration (LinkBytesPerUs from BytesPerUs, HopLatency
+	// from Alpha/2).
+	Topo topo.Spec
+}
+
+// Validate checks the configuration a Network is about to be built from.
+// Non-positive latency or bandwidth terms would silently produce nonsense
+// schedules (zero or negative wire times), so construction refuses them;
+// fields where zero means "disabled" (CreditsPerPeer, RegCacheEntries,
+// ProcsPerNode, AckLatency, ...) only reject negatives.
+func (c Config) Validate(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("network needs at least one rank, got %d", n)
+	}
+	if c.Alpha <= 0 {
+		return fmt.Errorf("non-positive internode base latency Alpha %d ns", c.Alpha)
+	}
+	if c.BytesPerUs <= 0 {
+		return fmt.Errorf("non-positive internode bandwidth BytesPerUs %g", c.BytesPerUs)
+	}
+	if c.AlphaIntra <= 0 {
+		return fmt.Errorf("non-positive intranode base latency AlphaIntra %d ns", c.AlphaIntra)
+	}
+	if c.BytesPerUsIntra <= 0 {
+		return fmt.Errorf("non-positive intranode bandwidth BytesPerUsIntra %g", c.BytesPerUsIntra)
+	}
+	if c.ProcsPerNode < 0 {
+		return fmt.Errorf("negative ProcsPerNode %d", c.ProcsPerNode)
+	}
+	if c.CreditsPerPeer < 0 {
+		return fmt.Errorf("negative CreditsPerPeer %d (0 disables flow control)", c.CreditsPerPeer)
+	}
+	if c.AckLatency < 0 {
+		return fmt.Errorf("negative AckLatency %d ns", c.AckLatency)
+	}
+	if c.FifoCapacity < 0 {
+		return fmt.Errorf("negative FifoCapacity %d", c.FifoCapacity)
+	}
+	if c.RegCacheEntries < 0 {
+		return fmt.Errorf("negative RegCacheEntries %d (0 disables the model)", c.RegCacheEntries)
+	}
+	if c.RegMissCost < 0 {
+		return fmt.Errorf("negative RegMissCost %d ns", c.RegMissCost)
+	}
+	if c.CallOverhead < 0 {
+		return fmt.Errorf("negative CallOverhead %d ns", c.CallOverhead)
+	}
+	if err := c.Topo.Validate(c.NodeOf(n-1) + 1); err != nil {
+		return err
+	}
+	return nil
 }
 
 // DefaultConfig returns the calibration used throughout the benchmark

@@ -196,10 +196,18 @@ func (fs *faultState) inject(p *Packet) {
 		st.Drops++
 		return
 	}
-	delay := fs.nw.Cfg.Alpha + fs.jitter()
+	// With a modeled topology the copy jitters, then crosses the fabric hop
+	// by hop (topoSendPacket -> engine -> recvReliable at egress); on the
+	// crossbar it propagates flat, Alpha plus jitter. The RNG draw order is
+	// identical either way.
+	base, arrive := fs.nw.Cfg.Alpha, relDeliver
+	if fs.nw.topo != nil {
+		base, arrive = 0, topoSendPacket
+	}
+	delay := base + fs.jitter()
 	if fp.Dup > 0 && fs.rng.Float64() < fp.Dup {
 		st.DupsSent++
-		fs.nw.K.AfterCall(delay+fs.nw.Cfg.Alpha+fs.jitter(), relDeliver, p)
+		fs.nw.K.AfterCall(delay+base+fs.jitter(), arrive, p)
 	}
 	if fp.Corrupt > 0 && fs.rng.Float64() < fp.Corrupt {
 		// Deliver a corrupted copy instead of the clean one; the retransmit
@@ -209,10 +217,10 @@ func (fs *faultState) inject(p *Packet) {
 		*cp = *p
 		cp.pooled = false
 		cp.corrupt = true
-		fs.nw.K.AfterCall(delay, relDeliver, cp)
+		fs.nw.K.AfterCall(delay, arrive, cp)
 		return
 	}
-	fs.nw.K.AfterCall(delay, relDeliver, p)
+	fs.nw.K.AfterCall(delay, arrive, p)
 }
 
 // jitter draws one uniform delay in [0, JitterMax].

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Network is the interconnect of one simulated cluster: N ranks, one NIC
@@ -35,6 +36,11 @@ type Network struct {
 	// zero-allocation pipeline untouched but for one pointer check.
 	faults *faultState
 
+	// topo, when non-nil, routes every internode packet hop by hop through
+	// the modeled interconnect (topo.go). nil — the default crossbar —
+	// costs the lossless pipeline one pointer check, like faults.
+	topo *topoState
+
 	// onUnreachable is invoked (in kernel context) when rank local's
 	// reliability sublayer exhausts its retries toward peer and declares it
 	// unreachable. internal/core installs its error-propagation hook here.
@@ -43,10 +49,13 @@ type Network struct {
 
 type fifoKey struct{ src, dst int }
 
-// NewNetwork builds the interconnect for n ranks.
+// NewNetwork builds the interconnect for n ranks. The configuration is
+// validated here — non-positive latency/bandwidth terms or negative
+// credit/capacity counts would silently corrupt every schedule downstream,
+// so construction fails loudly with fabric context instead.
 func NewNetwork(k *sim.Kernel, n int, cfg Config) *Network {
-	if n <= 0 {
-		panic("fabric: network needs at least one rank")
+	if err := cfg.Validate(n); err != nil {
+		panic("fabric: invalid config: " + err.Error())
 	}
 	nw := &Network{
 		K:        k,
@@ -59,6 +68,9 @@ func NewNetwork(k *sim.Kernel, n int, cfg Config) *Network {
 	for r := 0; r < n; r++ {
 		nw.nics[r] = newNIC(nw, r, n)
 		nw.regs[r] = NewRegCache(cfg.RegCacheEntries)
+	}
+	if cfg.Topo.Kind != topo.Crossbar {
+		nw.topo = newTopoState(nw, n)
 	}
 	return nw
 }

@@ -165,8 +165,17 @@ func descTxDone(x any) {
 	k := n.nw.K
 	if fs := n.nw.faults; fs != nil {
 		// Faulty fabric: the reliability sublayer owns delivery, credit
-		// return and the descriptor from here on.
+		// return and the descriptor from here on (and routes surviving
+		// copies through the topology itself when one is configured).
 		fs.sendReliable(d)
+		return
+	}
+	if ts := n.nw.topo; ts != nil {
+		// Modeled topology: the packet crosses the interconnect hop by
+		// hop; delivery, credit return and the descriptor are handled at
+		// egress (topoState.egress).
+		ts.sendDesc(d)
+		n.tryStart()
 		return
 	}
 	if n.creditInit > 0 {

@@ -1,0 +1,129 @@
+package fabric
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Topology integration. When Config.Topo selects a real topology (anything
+// but the crossbar), every internode packet — after its NIC injection
+// pipeline, and after the fault injector when faults are enabled — crosses
+// the modeled interconnect hop by hop under per-link bandwidth arbitration
+// and credit flow control, instead of the crossbar's flat Alpha hop. The
+// default crossbar builds no topoState at all: the lossless fast path pays
+// one nil check in descTxDone and nothing else, exactly like fault.go.
+//
+// The NIC pipeline keeps modeling the host adapter (serialization, per-peer
+// credits, registration); the topology models the switch fabric behind it.
+// Hardware ACKs — the lossless credit return and the reliability sublayer's
+// cumulative ACKs — stay out of band, as in the crossbar model.
+
+// topoState glues a topo.Engine under the network's packet path.
+type topoState struct {
+	nw  *Network
+	eng *topo.Engine
+}
+
+// newTopoState resolves the calibration defaults and builds the graph and
+// engine for the configured topology over the network's node count.
+func newTopoState(nw *Network, n int) *topoState {
+	cfg := &nw.Cfg
+	spec := cfg.Topo
+	if spec.LinkBytesPerUs == 0 {
+		spec.LinkBytesPerUs = cfg.BytesPerUs
+	}
+	if spec.HopLatency == 0 {
+		// Half the crossbar's flat hop, so the shortest real route (two
+		// hops: host->switch->host) reproduces the crossbar's base latency.
+		spec.HopLatency = cfg.Alpha / 2
+	}
+	nodes := cfg.NodeOf(n-1) + 1
+	g, err := topo.Build(spec, nodes)
+	if err != nil {
+		panic("fabric: " + err.Error())
+	}
+	ts := &topoState{nw: nw}
+	ts.eng = topo.NewEngine(nw.K, g, ts.egress)
+	nw.Cfg.Topo = g.Spec // record the resolved shape for diagnostics
+	return ts
+}
+
+// sendDesc routes a lossless-path descriptor through the topology. Local
+// completion (OnTxDone) already fired in descTxDone; the descriptor rides
+// the fabric as the packet's in-flight identity and is retired on egress.
+func (ts *topoState) sendDesc(d *desc) {
+	cfg := &ts.nw.Cfg
+	ts.eng.Send(d, cfg.NodeOf(d.pkt.Src), cfg.NodeOf(d.pkt.Dst), d.pkt.Size)
+}
+
+// sendPacket routes a reliability-sublayer copy through the topology (the
+// faulty path: the injector already rolled its dice on this copy).
+func (ts *topoState) sendPacket(p *Packet) {
+	cfg := &ts.nw.Cfg
+	ts.eng.Send(p, cfg.NodeOf(p.Src), cfg.NodeOf(p.Dst), p.Size)
+}
+
+// topoSendPacket is the shared capture-free callback that injects a
+// jitter-delayed faulty-path copy into the topology.
+func topoSendPacket(x any) {
+	p := x.(*Packet)
+	p.nw.topo.sendPacket(p)
+}
+
+// egress runs when a packet leaves its last link: it is the topology-path
+// counterpart of descDeliver/descCreditReturn (lossless descriptors) and
+// relDeliver (reliability-sublayer copies).
+func (ts *topoState) egress(payload any, _ int) {
+	nw := ts.nw
+	switch v := payload.(type) {
+	case *desc:
+		n := v.n
+		if n.creditInit > 0 {
+			nw.deliver(v.pkt)
+			v.pkt = nil // the network may recycle the packet now
+			nw.K.AfterCall(nw.Cfg.AckLatency, descCreditReturn, v)
+		} else {
+			pkt := v.pkt
+			n.freeDesc(v)
+			nw.deliver(pkt)
+		}
+	case *Packet:
+		nw.faults.recvReliable(v)
+	default:
+		panic("fabric: unknown payload type left the topology")
+	}
+}
+
+// --- Observability ----------------------------------------------------- //
+
+// TopoEnabled reports whether the network models a real topology (anything
+// but the default crossbar).
+func (nw *Network) TopoEnabled() bool { return nw.topo != nil }
+
+// TopoSummary returns the fabric-wide congestion aggregate (zero when the
+// crossbar is in use).
+func (nw *Network) TopoSummary() topo.Summary {
+	if nw.topo == nil {
+		return topo.Summary{}
+	}
+	return nw.topo.eng.Summary()
+}
+
+// QueuedTotal returns the accumulated fabric-wide link-queue waiting time,
+// O(1) so tracing can sample it at every epoch boundary.
+func (nw *Network) QueuedTotal() sim.Time {
+	if nw.topo == nil {
+		return 0
+	}
+	return nw.topo.eng.QueuedTotal()
+}
+
+// TopoDiag renders the congestion state relevant to rank r's node for
+// watchdog and deadlock reports. Returns "" when the crossbar is in use or
+// nothing ever queued.
+func (nw *Network) TopoDiag(r int) string {
+	if nw.topo == nil {
+		return ""
+	}
+	return nw.topo.eng.HostDiag(nw.Cfg.NodeOf(r))
+}

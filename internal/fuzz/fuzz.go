@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/par"
+	"repro/internal/topo"
 )
 
 // Failure describes one failing (seed, mode) pair with every violated
@@ -15,18 +16,22 @@ import (
 type Failure struct {
 	Seed     uint64
 	Mode     core.Mode
-	Lossy    bool // failed over the fault-injecting fabric
+	Lossy    bool      // failed over the fault-injecting fabric
+	Topo     topo.Kind // interconnect the run was routed over (Crossbar: default)
 	Problems []string
 }
 
 // String renders the failure with its reproduction recipe.
 func (f Failure) String() string {
-	lossy := ""
+	extra := ""
 	if f.Lossy {
-		lossy = " -lossy"
+		extra = " -lossy"
+	}
+	if f.Topo != topo.Crossbar {
+		extra += fmt.Sprintf(" -topo %s", f.Topo)
 	}
 	return fmt.Sprintf("seed=%d mode=%s%s:\n  %s\n  reproduce: go run ./cmd/fuzz -seed %d -n 1%s",
-		f.Seed, f.Mode, lossy, strings.Join(f.Problems, "\n  "), f.Seed, lossy)
+		f.Seed, f.Mode, extra, strings.Join(f.Problems, "\n  "), f.Seed, extra)
 }
 
 // Options configures a fuzzing campaign.
@@ -51,6 +56,11 @@ type Options struct {
 	// sublayer — so the very same invariants must hold as on a pristine
 	// network.
 	Lossy bool
+	// Topo routes every seed over a modeled interconnect of this kind with
+	// the seed-varied shape TopoSpec derives (link arbitration, credit flow
+	// control, congestion). Crossbar — the zero value — is the untouched
+	// default fabric. Composes with Lossy.
+	Topo topo.Kind
 }
 
 // BothModes is the default mode set.
@@ -66,15 +76,22 @@ func CheckSeed(seed uint64, mode core.Mode) *Failure {
 // Options.Lossy). The fault schedule is a pure function of the seed, so a
 // lossy failure reproduces exactly like a pristine one.
 func CheckSeedFaults(seed uint64, mode core.Mode, lossy bool) *Failure {
+	return CheckSeedTopo(seed, mode, lossy, topo.Crossbar)
+}
+
+// CheckSeedTopo is CheckSeedFaults over a modeled interconnect (see
+// Options.Topo). Routing, arbitration and the seed-derived shape are all
+// pure functions of (kind, seed), so topology failures replay exactly too.
+func CheckSeedTopo(seed uint64, mode core.Mode, lossy bool, kind topo.Kind) *Failure {
 	p := Generate(seed)
 	var fp *fabric.FaultProfile
 	if lossy {
 		prof := LossyProfile(seed)
 		fp = &prof
 	}
-	res := ExecuteFaults(p, mode, fp)
+	res := ExecuteTopo(p, mode, fp, kind)
 	if problems := Verify(p, mode, res); len(problems) > 0 {
-		return &Failure{Seed: seed, Mode: mode, Lossy: lossy, Problems: problems}
+		return &Failure{Seed: seed, Mode: mode, Lossy: lossy, Topo: kind, Problems: problems}
 	}
 	return nil
 }
@@ -92,7 +109,7 @@ func Campaign(o Options) []Failure {
 		seed := o.Seed + uint64(i)
 		var fs []Failure
 		for _, mode := range modes {
-			if f := CheckSeedFaults(seed, mode, o.Lossy); f != nil {
+			if f := CheckSeedTopo(seed, mode, o.Lossy, o.Topo); f != nil {
 				fs = append(fs, *f)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/topo"
 )
 
 // TestGenerateDeterministic: the same seed must yield a structurally
@@ -131,7 +132,7 @@ func TestEventBudgetHeadroom(t *testing.T) {
 			if res.Err != nil {
 				t.Fatalf("seed %d mode %s: %v", seed, mode, res.Err)
 			}
-			if budget := eventBudget(p, false); res.KernelEvents*10 > budget {
+			if budget := eventBudget(p, false, topo.Crossbar); res.KernelEvents*10 > budget {
 				t.Errorf("seed %d mode %s: used %d kernel events, budget %d gives <10x headroom",
 					seed, mode, res.KernelEvents, budget)
 			}

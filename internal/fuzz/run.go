@@ -7,6 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -18,19 +19,50 @@ type RunResult struct {
 	Stats        [][]core.WindowStats // [rank][window]
 	Events       []trace.Event
 	KernelEvents uint64
+	Congestion   topo.Summary // zero on the crossbar
 }
 
 // eventBudget bounds the kernel event count for the watchdog: generously
 // above anything a healthy program of this size needs, so only a livelock
 // (or a deadlock, which the kernel reports on its own) can exhaust it.
 // Lossy runs get 4x headroom — retransmissions, duplicate deliveries and
-// dedicated ACK packets all burn extra events on healthy executions.
-func eventBudget(p *Program, lossy bool) uint64 {
+// dedicated ACK packets all burn extra events on healthy executions — and
+// topology runs 2x: every internode packet becomes a chain of per-link
+// queue/transmit/propagate events instead of one crossbar hop.
+func eventBudget(p *Program, lossy bool, kind topo.Kind) uint64 {
 	b := 500_000 + 50_000*uint64(p.NRanks*len(p.Rounds)) + 5_000*uint64(p.OpCount())
 	if lossy {
 		b *= 4
 	}
+	if kind != topo.Crossbar {
+		b *= 2
+	}
 	return b
+}
+
+// TopoSpec derives the seed-varied interconnect shape the campaign runs a
+// program over: small switch radixes and tight link credits (the regimes
+// where routing, arbitration and bubble flow control actually bite), all a
+// pure function of (kind, seed) so failures replay exactly. Crossbar
+// returns the zero spec — the fabric's untouched default path.
+func TopoSpec(kind topo.Kind, seed uint64) topo.Spec {
+	if kind == topo.Crossbar {
+		return topo.Spec{}
+	}
+	// Splitmix-style mixing, offset from LossyProfile's stream so -topo and
+	// -lossy never correlate; must not consume the injector's own RNG.
+	mix := (seed + 0x51ab_c0de) * 0x9e3779b97f4a7c15
+	mix ^= mix >> 33
+	spec := topo.Spec{Kind: kind}
+	spec.LinkCredits = []int{2, 3, 8}[mix%3]
+	switch kind {
+	case topo.Torus:
+		spec.DimX = []int{0, 2, 3}[(mix>>8)%3] // 0: squarest grid
+	case topo.FatTree:
+		spec.HostsPerLeaf = 1 + int((mix>>8)%2)
+		spec.Spines = 1 + int((mix>>16)%3)
+	}
+	return spec
 }
 
 // LossyProfile derives a recoverable-by-construction fault schedule from a
@@ -66,13 +98,22 @@ func Execute(p *Program, mode core.Mode) *RunResult {
 // ExecuteFaults is Execute over a fault-injecting fabric; fp == nil runs
 // the pristine network.
 func ExecuteFaults(p *Program, mode core.Mode, fp *fabric.FaultProfile) *RunResult {
+	return ExecuteTopo(p, mode, fp, topo.Crossbar)
+}
+
+// ExecuteTopo is ExecuteFaults over a modeled interconnect: anything but
+// the crossbar routes every internode packet through the seed-derived
+// TopoSpec shape, under link arbitration and credit flow control — and, if
+// fp is also set, under fault injection on top.
+func ExecuteTopo(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.Kind) *RunResult {
 	cfg := fabric.DefaultConfig()
 	cfg.ProcsPerNode = p.ProcsPerNode
+	cfg.Topo = TopoSpec(kind, p.Seed)
 	world := mpi.NewWorld(p.NRanks, cfg)
 	if fp != nil {
 		world.Net.EnableFaults(*fp)
 	}
-	world.K.SetWatchdog(eventBudget(p, fp != nil), 0)
+	world.K.SetWatchdog(eventBudget(p, fp != nil, kind), 0)
 	world.K.EnableDiagnostics()
 	rt := core.NewRuntime(world)
 	rec := trace.NewRecorder()
@@ -109,6 +150,7 @@ func ExecuteFaults(p *Program, mode core.Mode, fp *fabric.FaultProfile) *RunResu
 
 	res.Events = rec.Events()
 	res.KernelEvents = world.K.Events()
+	res.Congestion = world.Net.TopoSummary()
 	if res.Err == nil {
 		res.Mems = make([][][]byte, len(p.Windows))
 		res.Stats = make([][]core.WindowStats, p.NRanks)

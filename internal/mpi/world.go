@@ -33,13 +33,23 @@ func NewWorld(n int, cfg fabric.Config) *World {
 		w.Net.SetHandler(i, r.onDeliver)
 	}
 	// Deadlock/watchdog reports include the fabric's per-link reliability
-	// state (retransmit timers, flap windows, dead peers) for the blocked
-	// rank, so a fault-induced stall reads differently from a protocol
-	// deadlock. Contributes nothing when fault injection is off.
+	// state (retransmit timers, flap windows, dead peers) and, with a
+	// modeled topology, the congestion state around the blocked rank's node
+	// (queue depths, credit stalls, hottest links), so a fault- or
+	// congestion-induced stall reads differently from a protocol deadlock.
+	// Contributes nothing when faults are off and the crossbar is in use.
 	k.AddDiagProvider(func(p *sim.Proc) string {
 		for _, r := range w.ranks {
 			if r.Proc == p {
-				return w.Net.FaultDiag(r.ID)
+				fd, td := w.Net.FaultDiag(r.ID), w.Net.TopoDiag(r.ID)
+				switch {
+				case fd == "":
+					return td
+				case td == "":
+					return fd
+				default:
+					return fd + "\n" + td
+				}
 			}
 		}
 		return ""

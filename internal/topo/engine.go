@@ -1,0 +1,365 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Engine is the runtime congestion model of one built topology: per-link
+// FIFO queues arbitrating shared bandwidth on the virtual clock, plus
+// credit-based flow control (virtual-cut-through style: a packet may start
+// crossing a link only when the downstream input buffer has a free slot,
+// reserved ahead of the transmission).
+//
+// Like the rest of the fabric, the engine is owned by the simulation's
+// single-threaded event loop: service order is per-link FIFO, credit
+// releases kick waiters in ascending link order, and every continuation is
+// a shared capture-free callback — so schedules are a pure function of the
+// topology spec and the offered traffic.
+//
+// Deadlock freedom: fat-tree up/down routes are acyclic. Ring and torus
+// links form directed cycles, so credit waits could in principle close a
+// cycle; the engine applies bubble flow control — entering a cycle (from a
+// host, or turning dimensions) needs two free downstream slots, continuing
+// inside it needs one — so no cycle can be driven to fully-occupied, and
+// since transmissions complete on the clock (never blocking on credits
+// mid-flight), some head packet in a saturated ring can always advance.
+type Engine struct {
+	K *sim.Kernel
+	G *Graph
+
+	// deliver receives every packet that reaches its destination host.
+	deliver func(payload any, dst int)
+
+	links []linkState
+	free  []*token
+
+	// Delivered counts packets handed to deliver.
+	Delivered int64
+
+	// Running aggregates, maintained O(1) per event so callers can sample
+	// congestion at epoch boundaries without walking every link.
+	totQueued sim.Time
+	totStalls int64
+}
+
+// QueuedTotal returns the accumulated time packets have spent waiting in
+// link queues, fabric-wide.
+func (e *Engine) QueuedTotal() sim.Time { return e.totQueued }
+
+// StallsTotal returns the accumulated credit-stall episodes, fabric-wide.
+func (e *Engine) StallsTotal() int64 { return e.totStalls }
+
+// LinkStats counts one directed link's congestion activity.
+type LinkStats struct {
+	Forwarded    int64    // packets transmitted on the link
+	Bytes        int64    // payload bytes transmitted (excl. overhead)
+	BusyTime     sim.Time // total wire occupancy
+	QueuedTime   sim.Time // total time packets waited in the link's queue
+	CreditStalls int64    // head-of-queue episodes stalled on downstream credits
+	MaxQueue     int      // deepest queue observed
+}
+
+// linkState is the runtime state of one directed link. Two input queues
+// feed the wire: transit tokens (arrived over an upstream link, each
+// holding one of this link's buffer slots) and fresh host injections
+// (unbounded, holding nothing). Transit has priority, and a stalled head
+// in one queue never blocks the other — the separation real bubble
+// routers use so that an injection waiting for its two-slot bubble cannot
+// head-of-line-block ring traffic that only needs one.
+type linkState struct {
+	e       *Engine
+	link    *Link
+	transit []*token
+	inject  []*token
+	busy    bool
+	// slots counts free input-buffer credits of this link: reserved when an
+	// upstream transmission toward this link starts, released when the
+	// reserving packet starts its own onward transmission off this link.
+	slots   int
+	stalled bool // some head currently credit-stalled (dedups CreditStalls)
+	stats   LinkStats
+}
+
+// token is one packet in flight through the topology.
+type token struct {
+	e       *Engine
+	payload any
+	size    int64
+	dst     int // destination host
+	cur     int // link currently queued on / transmitting on
+	next    int // next link (slot reserved), -1 when cur ends at dst
+	// heldSlot marks a token that reserved cur's downstream slot before
+	// entering it (everything but source injection); it doubles as the
+	// "already traveling inside this cycle" marker for the bubble rule.
+	heldSlot bool
+	enqT     sim.Time
+}
+
+// NewEngine builds the runtime for a built graph. deliver is invoked in
+// kernel context for every packet that reaches its destination host.
+func NewEngine(k *sim.Kernel, g *Graph, deliver func(payload any, dst int)) *Engine {
+	e := &Engine{K: k, G: g, deliver: deliver}
+	e.links = make([]linkState, len(g.Links))
+	for i := range e.links {
+		ls := &e.links[i]
+		ls.e = e
+		ls.link = &g.Links[i]
+		ls.slots = g.Links[i].Credits
+	}
+	return e
+}
+
+func (e *Engine) allocToken() *token {
+	if l := len(e.free); l > 0 {
+		t := e.free[l-1]
+		e.free[l-1] = nil
+		e.free = e.free[:l-1]
+		return t
+	}
+	return &token{e: e}
+}
+
+func (e *Engine) freeToken(t *token) {
+	*t = token{e: e}
+	e.free = append(e.free, t)
+}
+
+// Send injects a packet at host src toward host dst. The source-side queue
+// (the host's own injection buffer) is unbounded — backpressure reaches the
+// sender through delivery latency, exactly as transport-level flow control
+// sees it — while every switch-level hop is bounded by link credits.
+func (e *Engine) Send(payload any, src, dst int, size int64) {
+	if src == dst || src < 0 || dst < 0 || src >= e.G.N || dst >= e.G.N {
+		panic(fmt.Sprintf("topo: send %d->%d outside the %d-host topology", src, dst, e.G.N))
+	}
+	t := e.allocToken()
+	t.payload, t.size, t.dst = payload, size, dst
+	e.enqueue(&e.links[e.G.NextHop(src, dst)], t, false)
+}
+
+// enqueue parks t at ls's transit or injection queue and kicks the link.
+func (e *Engine) enqueue(ls *linkState, t *token, held bool) {
+	t.cur = ls.link.ID
+	t.heldSlot = held
+	t.enqT = e.K.Now()
+	if held {
+		ls.transit = append(ls.transit, t)
+	} else {
+		ls.inject = append(ls.inject, t)
+	}
+	if q := len(ls.transit) + len(ls.inject); q > ls.stats.MaxQueue {
+		ls.stats.MaxQueue = q
+	}
+	e.kick(ls)
+}
+
+// required returns how many free downstream slots t needs to start its
+// transmission on cur toward next: two to enter a ring cycle (bubble flow
+// control), one otherwise.
+func (e *Engine) required(t *token, cur, next *Link) int {
+	if next.Cyc < 0 {
+		return 1
+	}
+	if t.heldSlot && cur.Cyc == next.Cyc {
+		return 1 // already traveling inside this cycle
+	}
+	return 2
+}
+
+// kick starts the next transmission if the wire is free: the transit head
+// first (fixed priority), the injection head otherwise.
+func (e *Engine) kick(ls *linkState) {
+	if ls.busy {
+		return
+	}
+	if len(ls.transit) > 0 && e.start(ls, &ls.transit) {
+		return
+	}
+	if len(ls.inject) > 0 && e.start(ls, &ls.inject) {
+		return
+	}
+}
+
+// start tries to launch the head of q on ls's wire; it reports whether a
+// transmission began. On a credit stall it charges CreditStalls once per
+// episode and leaves the head queued for a later re-kick.
+func (e *Engine) start(ls *linkState, q *[]*token) bool {
+	t := (*q)[0]
+	next := -1
+	if ls.link.To != t.dst {
+		next = e.G.NextHop(ls.link.To, t.dst)
+		ns := &e.links[next]
+		if ns.slots < e.required(t, ls.link, ns.link) {
+			if !ls.stalled {
+				ls.stalled = true
+				ls.stats.CreditStalls++
+				e.totStalls++
+			}
+			return false // re-kicked when a downstream slot frees
+		}
+		ns.slots--
+	}
+	ls.stalled = false
+	n := len(*q)
+	copy(*q, (*q)[1:])
+	(*q)[n-1] = nil
+	*q = (*q)[:n-1]
+	t.next = next
+	ls.busy = true
+	waited := e.K.Now() - t.enqT
+	ls.stats.QueuedTime += waited
+	e.totQueued += waited
+	ls.stats.Forwarded++
+	ls.stats.Bytes += t.size
+	occ := ls.occupancy(t.size)
+	ls.stats.BusyTime += occ
+	e.K.AfterCall(occ, tokenTxDone, t)
+	// Virtual cut-through: the packet's bits stream into the downstream
+	// buffer as they transmit, so the slot it held here frees at tx START,
+	// making release+reserve one atomic step. Atomic moves keep per-ring
+	// occupancy constant, and with the two-slot entry rule no directed
+	// cycle can ever fill completely (the bubble invariant).
+	if t.heldSlot {
+		ls.slots++
+		e.kickFeeders(ls)
+	}
+	return true
+}
+
+// occupancy is the wire time of one packet on this link: payload plus the
+// per-packet framing overhead, at the link's bandwidth.
+func (ls *linkState) occupancy(size int64) sim.Time {
+	bytes := float64(size + int64(ls.e.G.Spec.PktOverheadBytes))
+	return sim.Time(bytes / ls.link.BytesPerUs * float64(sim.Microsecond))
+}
+
+// tokenTxDone fires when t's last byte leaves its current link: the wire
+// frees (the buffer slot already returned at tx start — see kick) and the
+// packet propagates one hop.
+func tokenTxDone(x any) {
+	t := x.(*token)
+	e := t.e
+	ls := &e.links[t.cur]
+	ls.busy = false
+	e.kick(ls)
+	e.K.AfterCall(ls.link.Lat, tokenArrive, t)
+}
+
+// kickFeeders retries the upstream links that may be waiting for one of
+// ls's freed slots, in ascending link order (the fixed tie-break).
+func (e *Engine) kickFeeders(ls *linkState) {
+	for _, f := range e.G.feeders[ls.link.ID] {
+		e.kick(&e.links[f])
+	}
+}
+
+// tokenArrive lands t at the far end of its current link: either the
+// destination host (deliver) or the input queue of the next link, whose
+// slot the token already holds.
+func tokenArrive(x any) {
+	t := x.(*token)
+	e := t.e
+	if t.next < 0 {
+		payload, dst := t.payload, t.dst
+		e.Delivered++
+		e.freeToken(t)
+		e.deliver(payload, dst)
+		return
+	}
+	e.enqueue(&e.links[t.next], t, true)
+}
+
+// --- Observability ----------------------------------------------------- //
+
+// Summary aggregates engine-wide congestion counters.
+type Summary struct {
+	Links        int
+	Delivered    int64
+	Forwarded    int64    // link transmissions (delivered x hops)
+	QueuedTime   sim.Time // total time spent waiting in link queues
+	BusyTime     sim.Time // total wire occupancy
+	CreditStalls int64    // head-of-line credit-stall episodes
+	MaxQueue     int      // deepest link queue anywhere
+}
+
+// Summary returns the engine-wide aggregate.
+func (e *Engine) Summary() Summary {
+	s := Summary{Links: len(e.links), Delivered: e.Delivered}
+	for i := range e.links {
+		st := &e.links[i].stats
+		s.Forwarded += st.Forwarded
+		s.QueuedTime += st.QueuedTime
+		s.BusyTime += st.BusyTime
+		s.CreditStalls += st.CreditStalls
+		if st.MaxQueue > s.MaxQueue {
+			s.MaxQueue = st.MaxQueue
+		}
+	}
+	return s
+}
+
+// LinkStats returns link i's counters.
+func (e *Engine) LinkStats(i int) LinkStats { return e.links[i].stats }
+
+// InFlight reports whether any packet is queued or crossing a link
+// (testing helper: quiescence means all queues drained).
+func (e *Engine) InFlight() bool {
+	for i := range e.links {
+		if ls := &e.links[i]; ls.busy || len(ls.transit) > 0 || len(ls.inject) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HostDiag renders the congestion state relevant to one host for watchdog
+// and deadlock reports: the host's attached links plus the overall hottest
+// links by queued time. Returns "" when nothing ever queued or stalled.
+func (e *Engine) HostDiag(host int) string {
+	var b strings.Builder
+	for i := range e.links {
+		ls := &e.links[i]
+		if ls.link.From != host && ls.link.To != host {
+			continue
+		}
+		q := len(ls.transit) + len(ls.inject)
+		if ls.stats.QueuedTime == 0 && ls.stats.CreditStalls == 0 && q == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "link %s: q=%d busy=%v slots=%d queued=%dus stalls=%d\n",
+			e.G.LinkName(i), q, ls.busy, ls.slots,
+			ls.stats.QueuedTime/sim.Microsecond, ls.stats.CreditStalls)
+	}
+	type hot struct {
+		id int
+		q  sim.Time
+	}
+	hots := make([]hot, 0, len(e.links))
+	for i := range e.links {
+		if q := e.links[i].stats.QueuedTime; q > 0 {
+			hots = append(hots, hot{i, q})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].q != hots[j].q {
+			return hots[i].q > hots[j].q
+		}
+		return hots[i].id < hots[j].id
+	})
+	if len(hots) > 3 {
+		hots = hots[:3]
+	}
+	for _, h := range hots {
+		fmt.Fprintf(&b, "hot %s: queued=%dus stalls=%d max_q=%d\n",
+			e.G.LinkName(h.id), h.q/sim.Microsecond,
+			e.links[h.id].stats.CreditStalls, e.links[h.id].stats.MaxQueue)
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return fmt.Sprintf("topo %s: ", e.G.Spec.Kind) + strings.TrimRight(b.String(), "\n")
+}

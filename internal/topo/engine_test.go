@@ -1,0 +1,273 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// delivery records one packet landing at its destination.
+type delivery struct {
+	id  int
+	dst int
+	t   sim.Time
+}
+
+// testEngine builds a kernel + engine over the spec and returns a recorder.
+func testEngine(t *testing.T, spec Spec, nodes int) (*sim.Kernel, *Engine, *[]delivery) {
+	t.Helper()
+	g := mustBuild(t, spec, nodes)
+	k := sim.NewKernel()
+	var got []delivery
+	e := NewEngine(k, g, func(payload any, dst int) {
+		got = append(got, delivery{payload.(int), dst, k.Now()})
+	})
+	return k, e, &got
+}
+
+// occ is the wire time of one packet on the uniform test links.
+func occ(spec Spec, size int64) sim.Time {
+	over := spec.PktOverheadBytes
+	if over == 0 {
+		over = DefaultPktOverheadBytes
+	}
+	return sim.Time(float64(size+int64(over)) / spec.LinkBytesPerUs * float64(sim.Microsecond))
+}
+
+// TestUncontendedLatency pins the end-to-end pipeline model: with no
+// contention a packet takes hops x (occupancy + hop latency).
+func TestUncontendedLatency(t *testing.T) {
+	spec := testSpec(Ring)
+	k, e, got := testEngine(t, spec, 8)
+	k.At(0, func() { e.Send(7, 0, 3, 936) }) // 3 hops; 936+64 bytes = 1us occ
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * (occ(spec, 936) + spec.HopLatency)
+	if len(*got) != 1 || (*got)[0].t != want {
+		t.Fatalf("deliveries %v, want one at t=%d", *got, want)
+	}
+	if s := e.Summary(); s.Delivered != 1 || s.Forwarded != 3 || s.CreditStalls != 0 {
+		t.Errorf("summary %+v, want 1 delivered over 3 uncontended hops", s)
+	}
+}
+
+// TestSharedLinkSerializes pins bandwidth arbitration: two packets injected
+// at the same instant over the same link serialize, FIFO by arrival.
+func TestSharedLinkSerializes(t *testing.T) {
+	spec := testSpec(Ring)
+	k, e, got := testEngine(t, spec, 8)
+	k.At(0, func() {
+		e.Send(1, 0, 2, 936)
+		e.Send(2, 0, 2, 936)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := occ(spec, 936) + spec.HopLatency
+	if len(*got) != 2 {
+		t.Fatalf("%d deliveries, want 2", len(*got))
+	}
+	if (*got)[0].id != 1 || (*got)[1].id != 2 {
+		t.Fatalf("delivery order %v, want FIFO", *got)
+	}
+	// Pipelined cut-through: the second packet trails by one occupancy.
+	if d := (*got)[1].t - (*got)[0].t; d != occ(spec, 936) {
+		t.Errorf("second packet trails by %d, want one occupancy (%d)", d, occ(spec, 936))
+	}
+	if (*got)[0].t != 2*per {
+		t.Errorf("first delivery at %d, want %d", (*got)[0].t, 2*per)
+	}
+	if s := e.Summary(); s.QueuedTime == 0 {
+		t.Error("no queued time recorded for a contended link")
+	}
+}
+
+// TestCreditBackpressure pins flow control: with tiny link buffers a burst
+// must stall upstream (credit stalls observed) yet still deliver everything
+// in order.
+func TestCreditBackpressure(t *testing.T) {
+	spec := testSpec(Ring)
+	spec.LinkCredits = 2
+	k, e, got := testEngine(t, spec, 8)
+	const burst = 20
+	k.At(0, func() {
+		for i := 0; i < burst; i++ {
+			e.Send(i, 0, 3, 936)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != burst {
+		t.Fatalf("%d deliveries, want %d", len(*got), burst)
+	}
+	for i, d := range *got {
+		if d.id != i {
+			t.Fatalf("delivery %d has id %d; FIFO violated: %v", i, d.id, *got)
+		}
+	}
+	s := e.Summary()
+	if s.CreditStalls == 0 {
+		t.Error("no credit stalls under a 20-packet burst with 2 credits/link")
+	}
+	if e.InFlight() {
+		t.Error("engine not quiescent after Run")
+	}
+}
+
+// TestRingSaturationDrains is the bubble-rule deadlock test: all-to-all
+// bursts on a small ring with minimum credits must drain completely.
+func TestRingSaturationDrains(t *testing.T) {
+	for _, kind := range []Kind{Ring, Torus} {
+		t.Run(kind.String(), func(t *testing.T) {
+			spec := testSpec(kind)
+			spec.LinkCredits = 2
+			const n = 6
+			k, e, got := testEngine(t, spec, n)
+			sent := 0
+			k.At(0, func() {
+				for r := 0; r < 4; r++ {
+					for s := 0; s < n; s++ {
+						for d := 0; d < n; d++ {
+							if s != d {
+								e.Send(sent, s, d, 512)
+								sent++
+							}
+						}
+					}
+				}
+			})
+			k.SetWatchdog(1_000_000, 0)
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(*got) != sent {
+				t.Fatalf("%d of %d packets delivered", len(*got), sent)
+			}
+			if e.InFlight() {
+				t.Error("packets still in flight after drain")
+			}
+		})
+	}
+}
+
+// TestFatTreeContention drives many hosts at one destination through the
+// fat-tree and checks arrivals serialize on the shared down-link.
+func TestFatTreeContention(t *testing.T) {
+	spec := testSpec(FatTree)
+	spec.HostsPerLeaf, spec.Spines = 4, 2
+	k, e, got := testEngine(t, spec, 16)
+	k.At(0, func() {
+		for s := 1; s < 16; s++ {
+			e.Send(s, s, 0, 936)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 15 {
+		t.Fatalf("%d deliveries, want 15", len(*got))
+	}
+	// The last-hop link leaf0->host0 serializes all 15: arrivals at least
+	// one occupancy apart.
+	for i := 1; i < len(*got); i++ {
+		if d := (*got)[i].t - (*got)[i-1].t; d < occ(spec, 936) {
+			t.Fatalf("arrivals %d and %d only %d apart, want >= %d", i-1, i, d, occ(spec, 936))
+		}
+	}
+	if s := e.Summary(); s.QueuedTime == 0 || s.MaxQueue < 2 {
+		t.Errorf("incast left no congestion footprint: %+v", s)
+	}
+}
+
+// TestEngineDeterministic replays an irregular traffic mix twice and
+// requires identical delivery transcripts.
+func TestEngineDeterministic(t *testing.T) {
+	run := func() string {
+		spec := testSpec(Torus)
+		spec.LinkCredits = 3
+		k, e, got := testEngine(t, spec, 9)
+		seed := int64(12345)
+		next := func() int64 { // tiny deterministic LCG, no global rand
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return (seed >> 33) & 0x7fffffff
+		}
+		id := 0
+		for i := 0; i < 200; i++ {
+			src := int(next() % 9)
+			dst := int(next() % 9)
+			if src == dst {
+				continue
+			}
+			at := sim.Time(next()%50) * sim.Microsecond
+			size := next()%4096 + 1
+			pid := id
+			id++
+			k.At(at, func() { e.Send(pid, src, dst, size) })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v|%+v", *got, e.Summary())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("two identical runs produced different transcripts")
+	}
+}
+
+// TestPerPairFIFO checks per-(src,dst) ordering under cross traffic.
+func TestPerPairFIFO(t *testing.T) {
+	spec := testSpec(FatTree)
+	spec.HostsPerLeaf, spec.Spines = 2, 2
+	spec.LinkCredits = 2
+	k, e, got := testEngine(t, spec, 8)
+	const per = 10
+	k.At(0, func() {
+		for i := 0; i < per; i++ {
+			for s := 0; s < 8; s++ {
+				e.Send(s*per+i, s, (s+3)%8, int64(100*(i%3+1)))
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]int{}
+	for _, d := range *got {
+		src := d.id / per
+		if seq := d.id % per; seq != last[src] {
+			t.Fatalf("src %d delivered seq %d, want %d", src, seq, last[src])
+		}
+		last[src]++
+	}
+	for s := 0; s < 8; s++ {
+		if last[s] != per {
+			t.Fatalf("src %d delivered %d of %d", s, last[s], per)
+		}
+	}
+}
+
+// TestHostDiag smoke-tests the watchdog rendering.
+func TestHostDiag(t *testing.T) {
+	spec := testSpec(Ring)
+	spec.LinkCredits = 2
+	k, e, _ := testEngine(t, spec, 8)
+	k.At(0, func() {
+		for i := 0; i < 20; i++ {
+			e.Send(i, 0, 3, 2000)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.HostDiag(0); d == "" {
+		t.Error("HostDiag empty after congestion")
+	}
+	quietK := sim.NewKernel()
+	quiet := NewEngine(quietK, mustBuild(t, testSpec(Ring), 4), func(any, int) {})
+	if d := quiet.HostDiag(0); d != "" {
+		t.Errorf("HostDiag on idle engine = %q, want empty", d)
+	}
+}
