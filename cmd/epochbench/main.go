@@ -35,6 +35,10 @@ type experiment struct {
 	run   func(iters int) fmt.Stringer
 }
 
+// deepExperiments only run when named explicitly with -fig — they are too
+// expensive for the default everything run.
+var deepExperiments = map[string]bool{"scale1k": true}
+
 var experiments = []experiment{
 	{"2", "paper Fig 2", "Late Post: GATS latency when one target posts 1000us late",
 		func(n int) fmt.Stringer { return bench.Fig2LatePost(n) }},
@@ -60,6 +64,8 @@ var experiments = []experiment{
 		func(n int) fmt.Stringer { return bench.FigFaultSweep(n) }},
 	{"scale", "repo extension", "Scaling: GATS epoch at 64-512 ranks on a fixed-core fat-tree, congestion-attributed",
 		func(n int) fmt.Stringer { return bench.FigScale(n) }},
+	{"scale1k", "repo extension", "Scaling, deep point: the 1024-rank cell (run with -shards to make it cheap)",
+		func(n int) fmt.Stringer { return bench.FigScaleRanks([]int{1024}, n) }},
 }
 
 func main() {
@@ -83,6 +89,9 @@ func main() {
 	ran := false
 	for _, e := range experiments {
 		if *fig != "" && *fig != e.id {
+			continue
+		}
+		if *fig == "" && deepExperiments[e.id] {
 			continue
 		}
 		fmt.Println(e.run(*iters))

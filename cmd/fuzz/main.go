@@ -26,6 +26,10 @@
 // and bubble flow control actually bite (see fuzz.TopoSpec); the two
 // compose. Either way the schedule is a pure function of the seed and the
 // flags, so a failure replays exactly like a pristine one.
+//
+// With -shards each pristine-crossbar seed executes on a sharded event
+// kernel; the transcript is bit-identical to a serial campaign (lossy and
+// topo seeds fall back to the serial kernel automatically).
 package main
 
 import (
@@ -72,11 +76,12 @@ func main() {
 	}
 
 	failures := fuzz.Campaign(fuzz.Options{
-		N:     *n,
-		Seed:  *seed,
-		Modes: modes,
-		Lossy: *lossy,
-		Topo:  kind,
+		N:      *n,
+		Seed:   *seed,
+		Modes:  modes,
+		Lossy:  *lossy,
+		Topo:   kind,
+		Shards: bench.Shards(),
 		Report: func(s uint64, fs []fuzz.Failure) {
 			if *verbose {
 				p := fuzz.Generate(s)

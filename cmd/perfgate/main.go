@@ -2,18 +2,23 @@
 // kernel/fabric/figure performance suite (bench.MeasureKernelPerf), prints
 // the results as JSON, and — when a committed baseline is given — fails the
 // build if throughput regressed beyond the tolerance or if a zero-allocation
-// budget was broken.
+// budget was broken. Every run is also appended to a trajectory file
+// (results/BENCH_trajectory.json by default) so the repo keeps a
+// machine-readable performance history across toolchain and code changes.
 //
 // Usage:
 //
 //	go run ./cmd/perfgate -baseline results/BENCH_kernel.json
 //	go run ./cmd/perfgate -out BENCH_kernel.json            # measure only
 //	go run ./cmd/perfgate -baseline results/BENCH_kernel.json -update
+//	go run ./cmd/perfgate -scale -shards 8                  # 512-rank speedup
 //
 // Throughput numbers are wall-clock dependent, so the gate compares ratios
 // (default: fail below 80% of baseline) rather than absolute values, and
 // the baseline should be refreshed (-update) when the suite or the hardware
-// class changes.
+// class changes. -scale additionally times the 512-rank scale cell on the
+// serial kernel vs on -shards kernels; it is opt-in because the cell takes
+// seconds and the speedup is only meaningful on a multi-core runner.
 package main
 
 import (
@@ -21,20 +26,61 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
+
+// trajectoryEntry is one perfgate run in the append-only history file.
+type trajectoryEntry struct {
+	Time string `json:"time"` // RFC 3339, UTC
+	bench.KernelPerf
+}
+
+// appendTrajectory reads the JSON array in path (missing or empty file =
+// empty history), appends cur stamped with now, and writes it back.
+func appendTrajectory(path string, cur bench.KernelPerf) error {
+	var hist []trajectoryEntry
+	if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, &hist); err != nil {
+			return fmt.Errorf("bad trajectory %s: %v", path, err)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	hist = append(hist, trajectoryEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		KernelPerf: cur,
+	})
+	enc, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
 
 func main() {
 	out := flag.String("out", "", "write the measured results to `file`")
 	baseline := flag.String("baseline", "", "compare against the baseline JSON in `file`")
 	maxReg := flag.Float64("max-regression", 0.20, "maximum tolerated fractional throughput regression")
 	update := flag.Bool("update", false, "rewrite the baseline file with the new measurement")
+	trajectory := flag.String("trajectory", "results/BENCH_trajectory.json", "append this run to the history in `file` (empty to disable)")
+	scale := flag.Bool("scale", false, "also measure the 512-rank scale-figure speedup, serial vs -shards kernels")
+	scaleRanks := flag.Int("scale-ranks", 512, "rank count for the -scale measurement (power of two)")
 	pf := bench.RegisterFlags()
 	flag.Parse()
 	stop := pf.Start()
 
 	cur := bench.MeasureKernelPerf()
+	if *scale {
+		shards := bench.Shards()
+		if shards < 2 {
+			shards = 8
+		}
+		cur.MeasureScaleSpeedup(*scaleRanks, 2, shards)
+		fmt.Printf("perfgate: scale %d ranks: serial %.0f ms, %d shards %.0f ms, speedup %.2fx\n",
+			*scaleRanks, cur.ScaleSerialMs, shards, cur.ScaleShardedMs, cur.ScaleSpeedup)
+	}
 	enc, err := json.MarshalIndent(cur, "", "  ")
 	if err != nil {
 		fatal(stop, "perfgate: %v", err)
@@ -43,6 +89,11 @@ func main() {
 	fmt.Printf("%s", enc)
 	if *out != "" {
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(stop, "perfgate: %v", err)
+		}
+	}
+	if *trajectory != "" {
+		if err := appendTrajectory(*trajectory, cur); err != nil {
 			fatal(stop, "perfgate: %v", err)
 		}
 	}

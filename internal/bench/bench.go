@@ -75,9 +75,11 @@ func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
 func Config() fabric.Config { return fabric.DefaultConfig() }
 
 // runWorld executes body on a fresh n-rank world and panics on simulation
-// errors (benchmark harness convention: a deadlock is a bug).
+// errors (benchmark harness convention: a deadlock is a bug). The world is
+// sharded across Shards() kernels when the -shards flag is set — every
+// figure value stays bit-identical either way.
 func runWorld(n int, cfg fabric.Config, body func(r *mpi.Rank, rt *core.Runtime)) {
-	w := mpi.NewWorld(n, cfg)
+	w := mpi.NewWorldShards(n, cfg, Shards())
 	rt := core.NewRuntime(w)
 	if err := w.Run(func(r *mpi.Rank) { body(r, rt) }); err != nil {
 		panic(fmt.Sprintf("bench: simulation failed: %v", err))

@@ -70,6 +70,8 @@ func FigFaultSweep(iters int) *stats.Table {
 // SweepPuts chunked puts with OverlapWork of origin-side computation each.
 func faultSweepCell(rate float64, s Series, ri, si, iters int) float64 {
 	var samples []sim.Time
+	// Always serial: fault injection rejects sharded networks (one RNG
+	// stream), and a 2-rank cell has nothing to shard anyway.
 	w := mpi.NewWorld(2, Config())
 	if rate > 0 {
 		fp := fabric.DefaultFaultProfile(0xFA_0175EE9 + uint64(ri)<<8 + uint64(si))

@@ -27,22 +27,37 @@ type Flags struct {
 	MemProfile string
 	Trace      string
 	Workers    int
+	Shards     int
 }
 
-// RegisterFlags registers -cpuprofile, -memprofile, -trace and -workers on
-// the default flag set.
+// RegisterFlags registers -cpuprofile, -memprofile, -trace, -workers and
+// -shards on the default flag set.
 func RegisterFlags() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
 	flag.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to `file`")
 	flag.IntVar(&f.Workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&f.Shards, "shards", 0, "kernel shards per simulation (<= 1 = serial kernel); results are bit-identical at any count")
 	return f
 }
+
+// shards is the process-wide kernel shard count applied by Flags.Start;
+// bench.runWorld and the fuzzer read it through Shards().
+var shards int
+
+// Shards returns the process-wide kernel shard count (-shards flag; 0 when
+// unset, meaning the serial kernel).
+func Shards() int { return shards }
+
+// SetShards overrides the process-wide kernel shard count (tests; binaries
+// use the -shards flag).
+func SetShards(n int) { shards = n }
 
 // Start applies the parsed flags and returns the flush function.
 func (f *Flags) Start() (stop func()) {
 	par.SetWorkers(f.Workers)
+	shards = f.Shards
 	var cpuF, traceF *os.File
 	if f.CPUProfile != "" {
 		cpuF = mustCreate(f.CPUProfile)

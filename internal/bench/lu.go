@@ -77,7 +77,9 @@ func RunLU(n int, series Series, p LUParams) LUResult {
 	m := p.M
 	rowBytes := int64(m) * 8
 	var total sim.Time
-	var commSum float64
+	// Per-rank slots, each written only by its own rank (shard-safe), summed
+	// in fixed rank order below so the result is shard-count invariant.
+	comm := make([]float64, n)
 	runWorld(n, Config(), func(r *mpi.Rank, rt *core.Runtime) {
 		win := rt.CreateWindow(r, rowBytes, core.WinOptions{Mode: series.Mode(), ShapeOnly: true})
 		group := others(n, r.ID)
@@ -122,8 +124,12 @@ func RunLU(n int, series Series, p LUParams) LUResult {
 		if r.ID == 0 {
 			total = r.Now() - t0
 		}
-		commSum += float64(r.TimeInMPI-mpiT0) / float64(r.Now()-t0)
+		comm[r.ID] = float64(r.TimeInMPI-mpiT0) / float64(r.Now()-t0)
 	})
+	var commSum float64
+	for _, c := range comm {
+		commSum += c
+	}
 	return LUResult{
 		N: n, M: m, Series: series,
 		Total:    total,

@@ -18,6 +18,7 @@ type KernelPerf struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Workers    int    `json:"workers"`
+	Shards     int    `json:"shards"`
 
 	// KernelEventsPerSec is the event-scheduling hot path: a self-
 	// rescheduling event chain, so each event costs one push, one pop and
@@ -34,6 +35,15 @@ type KernelPerf struct {
 	// worker count; FigureRegenSerialMs is the same sample with one worker.
 	FigureRegenMs       float64 `json:"figure_regen_ms"`
 	FigureRegenSerialMs float64 `json:"figure_regen_serial_ms"`
+
+	// Scale speedup (optional — cmd/perfgate -scale): one 512-rank scale
+	// cell on the serial kernel vs on sharded kernels, same simulation, so
+	// the ratio isolates the sharded event kernel's wall-clock win. Zero
+	// when the measurement was skipped; the regression gate ignores zero
+	// baselines, so the fields are backward compatible.
+	ScaleSerialMs  float64 `json:"scale_serial_ms,omitempty"`
+	ScaleShardedMs float64 `json:"scale_sharded_ms,omitempty"`
+	ScaleSpeedup   float64 `json:"scale_speedup,omitempty"`
 }
 
 // perfChain is the self-rescheduling event used by the kernel throughput
@@ -58,6 +68,7 @@ func MeasureKernelPerf() KernelPerf {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    par.Workers(),
+		Shards:     Shards(),
 	}
 
 	// Kernel event chain.
@@ -116,4 +127,31 @@ func MeasureKernelPerf() KernelPerf {
 	p.FigureRegenSerialMs = float64(time.Since(start).Microseconds()) / 1000
 	par.SetWorkers(prev)
 	return p
+}
+
+// MeasureScaleSpeedup times one ranks-rank scale cell (the nonblocking
+// series — the heaviest and the one the paper's scaling argument rests on)
+// on the serial kernel and again on shardCount kernels, filling the scale
+// fields of p. The two runs produce bit-identical figure values; only the
+// wall clock differs. Opt-in (cmd/perfgate -scale): a 512-rank cell takes
+// seconds, and the speedup is only meaningful on a multi-core runner.
+func (p *KernelPerf) MeasureScaleSpeedup(ranks, iters, shardCount int) {
+	prev := Shards()
+	defer SetShards(prev)
+
+	SetShards(0)
+	scaleCell(ranks, SeriesNewNB, 1) // warmup: pools, page cache
+	start := time.Now()
+	scaleCell(ranks, SeriesNewNB, iters)
+	p.ScaleSerialMs = float64(time.Since(start).Microseconds()) / 1000
+
+	SetShards(shardCount)
+	scaleCell(ranks, SeriesNewNB, 1)
+	start = time.Now()
+	scaleCell(ranks, SeriesNewNB, iters)
+	p.ScaleShardedMs = float64(time.Since(start).Microseconds()) / 1000
+
+	if p.ScaleShardedMs > 0 {
+		p.ScaleSpeedup = p.ScaleSerialMs / p.ScaleShardedMs
+	}
 }

@@ -75,9 +75,14 @@ type scaleMeasure struct {
 }
 
 // FigScale measures the sweep, averaging iters epochs per cell.
-func FigScale(iters int) *ScaleReport {
-	rows := make([]string, len(ScaleRanks))
-	for i, n := range ScaleRanks {
+func FigScale(iters int) *ScaleReport { return FigScaleRanks(ScaleRanks, iters) }
+
+// FigScaleRanks measures the scaling figure over an explicit rank list
+// (each a power of two). cmd/epochbench's "scale1k" experiment uses it for
+// the deep 1024-rank point the sharded kernel makes affordable.
+func FigScaleRanks(ranks []int, iters int) *ScaleReport {
+	rows := make([]string, len(ranks))
+	for i, n := range ranks {
 		rows[i] = fmt.Sprintf("%d", n)
 	}
 	cols := make([]string, len(AllSeries))
@@ -89,11 +94,11 @@ func FigScale(iters int) *ScaleReport {
 		Queued:  stats.NewTable("Scale: fabric link-queue time per iteration", "us", "ranks", rows, cols),
 		Stalls:  stats.NewTable("Scale: link credit-stall episodes per iteration", "", "ranks", rows, cols),
 	}
-	cells := par.Map(len(ScaleRanks)*len(AllSeries), func(j int) scaleMeasure {
+	cells := par.Map(len(ranks)*len(AllSeries), func(j int) scaleMeasure {
 		ni, si := j/len(AllSeries), j%len(AllSeries)
-		return scaleCell(ScaleRanks[ni], AllSeries[si], iters)
+		return scaleCell(ranks[ni], AllSeries[si], iters)
 	})
-	for ni := range ScaleRanks {
+	for ni := range ranks {
 		for si, s := range AllSeries {
 			m := cells[ni*len(AllSeries)+si]
 			rep.Latency.Set(rows[ni], s.String(), m.lat)
@@ -125,15 +130,20 @@ func ScaleTopo(n int) topo.Spec {
 }
 
 // scaleCell runs one (ranks, series) cell: iters both-roles GATS epochs of
-// log2(n) strided partners with ScaleWork of computation each.
+// log2(n) strided partners with ScaleWork of computation each. This is the
+// figure the kernel shards exist for: one 512-rank simulation saturates a
+// core, so the cell runs on Shards() kernels when -shards is set. Samples
+// land in per-rank slots (each written only by its own rank's shard) and
+// aggregate rank-major, so the cell's numbers are bit-identical at any
+// shard count.
 func scaleCell(n int, s Series, iters int) scaleMeasure {
 	if n&(n-1) != 0 || n < 2 {
 		panic(fmt.Sprintf("bench: scale rank count %d is not a power of two", n))
 	}
-	var samples []sim.Time
+	samples := make([][]sim.Time, n)
 	cfg := Config()
 	cfg.Topo = ScaleTopo(n)
-	w := mpi.NewWorld(n, cfg)
+	w := mpi.NewWorldShards(n, cfg, Shards())
 	rt := core.NewRuntime(w)
 	err := w.Run(func(r *mpi.Rank) {
 		// AAER lets the new design's access epoch progress inside the
@@ -165,16 +175,20 @@ func scaleCell(n int, s Series, iters int) scaleMeasure {
 				win.WaitEpoch()
 				r.Compute(ScaleWork)
 			}
-			samples = append(samples, r.Now()-t0)
+			samples[r.ID] = append(samples[r.ID], r.Now()-t0)
 		}
 		win.Quiesce()
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: scale (n=%d, %s) failed: %v", n, s, err))
 	}
+	flat := make([]sim.Time, 0, n*iters)
+	for _, ss := range samples {
+		flat = append(flat, ss...)
+	}
 	sum := w.Net.TopoSummary()
 	return scaleMeasure{
-		lat:    mean(samples),
+		lat:    mean(flat),
 		queued: us(sum.QueuedTime) / float64(iters),
 		stalls: float64(sum.CreditStalls) / float64(iters),
 	}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The tentpole guarantee of the sharded kernel: partitioning one simulation
+// across event kernels must not change a single byte of any rendered
+// figure. Unlike the parallel harness (independent simulations fanned over
+// workers), sharding splits the ranks of a single simulation, so this
+// exercises the cross-shard mailboxes, the band-1 tiebreak and the fabric
+// stage directly.
+
+// renderShardSample covers the shapes sharding touches: a crossbar GATS
+// microbenchmark (cross-rank packets, no topo engine), the LU application
+// (per-rank aggregation), and two small fat-tree scale cells (topology
+// engine on the dedicated fabric stage, congestion counters).
+func renderShardSample(iters int) string {
+	tt, ct := Fig13LU([]int{2, 4}, LUParams{M: 64, FlopNs: 20})
+	out := Fig2LatePost(iters).String() + tt.String() + ct.String()
+	for _, n := range []int{16, 32} {
+		c := scaleCell(n, SeriesNewNB, iters)
+		// %v renders floats at full round-trip precision: the guarantee is
+		// bit-identity, not agreement after table rounding.
+		out += fmt.Sprintf("\nscale,n=%d,lat=%v,queued=%v,stalls=%v", n, c.lat, c.queued, c.stalls)
+	}
+	return out
+}
+
+func TestShardedFiguresMatchSerial(t *testing.T) {
+	defer SetShards(0)
+	SetShards(0)
+	serial := renderShardSample(2)
+	for _, n := range []int{1, 2, 4, 8} {
+		SetShards(n)
+		if got := renderShardSample(2); got != serial {
+			t.Fatalf("figure output differs between serial and %d shards:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				n, serial, got)
+		}
+	}
+}

@@ -69,7 +69,7 @@ func (e *Engine) control(w *Window, dst int, kind ctlKind, value int64) {
 	case ctlUnlock:
 		fk = fabric.KindUnlock
 	}
-	p := net.AllocPacket()
+	p := net.AllocPacketAt(me)
 	p.Src, p.Dst, p.Kind, p.Size = me, dst, fk, 8
 	p.Arg = [4]int64{w.id, value, 0, 0}
 	net.Send(p)

@@ -30,7 +30,7 @@ func (e *Engine) raisef(format string, args ...interface{}) {
 // dump of every pending epoch and the lock-agent state of each of the
 // rank's windows.
 func (rt *Runtime) registerDiagnostics() {
-	rt.world.K.AddDiagProvider(func(p *sim.Proc) string {
+	rt.world.AddDiagProvider(func(p *sim.Proc) string {
 		for _, e := range rt.engines {
 			if e.rank.Proc == p {
 				return e.dumpState()

@@ -160,7 +160,7 @@ func (e *Engine) nicDeliver(p *fabric.Packet) {
 			tw.applyPut(wo.op.off, wo.op.data, wo.op.size)
 		}
 		tw.emitArrival(traceDataIn, p.Src, wo.op.size)
-		wo.eng.opDelivered(wo.op)
+		e.ackOp(p.Src, wo)
 
 	case fabric.KindGetReq:
 		wo := p.Payload.(*wireOp)
@@ -183,7 +183,7 @@ func (e *Engine) nicDeliver(p *fabric.Packet) {
 		tw := e.win(p.Arg[0])
 		tw.applyAcc(wo.op.off, wo.op.data, wo.op.size, wo.op.op, wo.op.dtype)
 		tw.emitArrival(traceDataIn, p.Src, wo.op.size)
-		wo.eng.opDelivered(wo.op)
+		e.ackOp(p.Src, wo)
 
 	case fabric.KindAccRTS:
 		// Target-side intermediate buffer reserved; clear the origin to
@@ -246,6 +246,32 @@ func (e *Engine) nicDeliver(p *fabric.Packet) {
 	}
 }
 
+// ackOp raises origin-side remote completion for a data transfer just
+// fulfilled at this (target) rank. Intranode the origin's completion queue
+// is shared memory and the completion is visible immediately: the origin
+// engine is driven inline, and node-granular shard assignment guarantees it
+// lives on this shard. Internode the origin's NIC learns through the
+// hardware ACK propagating back across the base latency, so the completion
+// is a band-1 cross event Alpha away — the reverse edge that lets a sharded
+// run keep its lookahead (and why Network.Lookahead is capped at Alpha).
+// Serial kernels execute the same event at the same instant, so the two
+// modes stay bit-identical.
+func (e *Engine) ackOp(origin int, wo *wireOp) {
+	cfg := e.rt.world.Net.Cfg
+	if cfg.SameNode(e.rank.ID, origin) {
+		wo.eng.opDelivered(wo.op)
+		return
+	}
+	k := e.rank.Kernel()
+	k.AtCross(k.Now()+cfg.Alpha, opDeliveredEvent, wo, e.rank.ID, origin)
+}
+
+// opDeliveredEvent is ackOp's shared, capture-free event body.
+func opDeliveredEvent(x any) {
+	wo := x.(*wireOp)
+	wo.eng.opDelivered(wo.op)
+}
+
 // win resolves a window id on this rank.
 func (e *Engine) win(id int64) *Window {
 	w := e.windows[id]
@@ -258,7 +284,7 @@ func (e *Engine) win(id int64) *Window {
 // respond posts a response packet back to the requester (NIC-autonomous).
 func (e *Engine) respond(req *fabric.Packet, kind fabric.Kind, wo *wireOp, size int64, data []byte) {
 	wo.resp = data
-	p := e.rt.world.Net.AllocPacket()
+	p := e.rt.world.Net.AllocPacketAt(e.rank.ID)
 	p.Src, p.Dst, p.Kind, p.Size = e.rank.ID, req.Src, kind, size
 	p.Payload = wo
 	p.Arg = [4]int64{req.Arg[0], 0, 0, 0}
@@ -280,7 +306,7 @@ func (e *Engine) deliverSelf(o *rmaOp) {
 	w := o.ep.win
 	cfg := e.rt.world.Net.Cfg
 	d := cfg.AlphaIntra + cfg.IntraCopyTime(o.size)
-	e.rt.world.K.After(d, func() {
+	e.rank.Kernel().After(d, func() {
 		switch o.class {
 		case opPut:
 			if o.vec != nil {

@@ -161,7 +161,7 @@ func (w *Window) armEpochTimeout(ep *Epoch) {
 	if w.timeout <= 0 || ep.completed {
 		return
 	}
-	k := w.rank.World().K
+	k := w.rank.Kernel()
 	k.After(w.timeout, func() {
 		if ep.completed {
 			return

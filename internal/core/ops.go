@@ -172,7 +172,7 @@ const ctrlBytes = 32
 
 // post sends the packet carrying op o toward its target.
 func (e *Engine) post(o *rmaOp, kind fabric.Kind, wireSize int64) {
-	p := e.rt.world.Net.AllocPacket()
+	p := e.rt.world.Net.AllocPacketAt(e.rank.ID)
 	p.Src, p.Dst, p.Kind, p.Size = e.rank.ID, o.target, kind, wireSize
 	p.Payload = &wireOp{op: o, eng: e}
 	p.Arg = [4]int64{o.ep.win.id, 0, 0, regionKey(o.ep.win, o.target)}

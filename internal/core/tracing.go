@@ -9,8 +9,15 @@ import (
 // analyze into the paper's inefficiency patterns. With no recorder
 // attached the hooks cost one nil check.
 
-// SetTracer attaches a recorder capturing events from every rank.
-func (rt *Runtime) SetTracer(rec *trace.Recorder) { rt.tracer = rec }
+// SetTracer attaches a recorder capturing events from every rank. The
+// recorder is switched to per-rank buckets, which makes recording safe (and
+// the event order identical) whether the world runs serial or sharded.
+func (rt *Runtime) SetTracer(rec *trace.Recorder) {
+	if rec != nil && rec.Len() == 0 {
+		rec.SetRanks(rt.world.Size())
+	}
+	rt.tracer = rec
+}
 
 // Tracer returns the attached recorder, if any.
 func (rt *Runtime) Tracer() *trace.Recorder { return rt.tracer }
@@ -38,7 +45,7 @@ func (w *Window) emitEpoch(kind trace.Kind, ep *Epoch) {
 	}
 	net := w.eng.rt.world.Net
 	rec.Record(trace.Event{
-		T:     w.eng.rt.world.K.Now(),
+		T:     w.rank.Now(),
 		Rank:  w.rank.ID,
 		Win:   w.id,
 		Epoch: ep.seq,
@@ -46,7 +53,11 @@ func (w *Window) emitEpoch(kind trace.Kind, ep *Epoch) {
 		Kind:  kind,
 		Peer:  -1,
 	})
-	if !net.TopoEnabled() {
+	// Congestion attribution samples the topology engine's running
+	// aggregate from rank context — only coherent on the serial kernel,
+	// where the engine shares it. A sharded run skips the CongWait events
+	// (congestion-tracing studies run serial; see internal/fuzz).
+	if !net.TopoEnabled() || net.Sharded() {
 		return
 	}
 	switch kind {
@@ -54,7 +65,7 @@ func (w *Window) emitEpoch(kind trace.Kind, ep *Epoch) {
 		ep.congOpen = int64(net.QueuedTotal())
 	case traceComplete:
 		rec.Record(trace.Event{
-			T:     w.eng.rt.world.K.Now(),
+			T:     w.rank.Now(),
 			Rank:  w.rank.ID,
 			Win:   w.id,
 			Epoch: ep.seq,
@@ -73,7 +84,7 @@ func (w *Window) emitArrival(kind trace.Kind, peer int, size int64) {
 		return
 	}
 	rec.Record(trace.Event{
-		T:     w.eng.rt.world.K.Now(),
+		T:     w.rank.Now(),
 		Rank:  w.rank.ID,
 		Win:   w.id,
 		Epoch: -1,

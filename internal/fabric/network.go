@@ -9,8 +9,15 @@ import (
 
 // Network is the interconnect of one simulated cluster: N ranks, one NIC
 // each, plus the intranode FIFO mesh. All methods must be called from
-// kernel or proc context of the owning simulation (never concurrently).
+// kernel or proc context of the owning simulation — on a sharded kernel
+// (NewNetworkShards) that means the shard context owning the rank the call
+// concerns, which the conservative round structure guarantees for every
+// path below.
 type Network struct {
+	// K is the fabric-stage kernel: the only kernel of a serial simulation,
+	// or the dedicated fabric shard (home of the topology engine) of a
+	// sharded one. Rank-side events must go through the per-rank kernels
+	// held by the NICs instead.
 	K   *sim.Kernel
 	Cfg Config
 
@@ -19,16 +26,27 @@ type Network struct {
 	fifos    map[fifoKey]*Fifo
 	regs     []*RegCache
 
+	// sharded marks a network whose ranks are spread across a sim.Shards
+	// group: pools become per-rank, the FIFO mesh is built eagerly (lazy
+	// map writes would race), and fault injection is rejected (the
+	// injector's single RNG stream is inherently serial).
+	sharded bool
+
 	// pktFree is the packet free-list backing AllocPacket. It is owned by
 	// the simulation's single-threaded event loop, so no locking is needed
 	// — and being per-Network, concurrent simulations in the parallel
-	// harness never share it.
-	pktFree []*Packet
+	// harness never share it. On a sharded network the pool splits per rank
+	// (pktFreeBy): allocation draws from the allocating rank's pool and
+	// release returns to the destination's, each touched only by its own
+	// shard.
+	pktFree   []*Packet
+	pktFreeBy [][]*Packet
 
-	// Delivered counts total packets handed to delivery handlers.
-	Delivered int64
-	// BytesMoved counts total payload bytes delivered.
-	BytesMoved int64
+	// deliveredBy / bytesBy count deliveries per destination rank, so
+	// concurrent shards never share a counter; Delivered and BytesMoved sum
+	// them on demand.
+	deliveredBy []int64
+	bytesBy     []int64
 
 	// faults, when non-nil, routes every internode packet through the
 	// deterministic fault injector and the go-back-N reliability sublayer
@@ -49,30 +67,79 @@ type Network struct {
 
 type fifoKey struct{ src, dst int }
 
-// NewNetwork builds the interconnect for n ranks. The configuration is
-// validated here — non-positive latency/bandwidth terms or negative
-// credit/capacity counts would silently corrupt every schedule downstream,
-// so construction fails loudly with fabric context instead.
+// NewNetwork builds the interconnect for n ranks on a single serial kernel.
+// The configuration is validated here — non-positive latency/bandwidth terms
+// or negative credit/capacity counts would silently corrupt every schedule
+// downstream, so construction fails loudly with fabric context instead.
 func NewNetwork(k *sim.Kernel, n int, cfg Config) *Network {
+	return newNetwork(func(int) *sim.Kernel { return k }, k, n, cfg, false)
+}
+
+// NewNetworkShards builds the interconnect for n ranks spread across a shard
+// group: each NIC lives on its rank's kernel, and the topology engine (when
+// configured) lives on the dedicated fabric stage. The assignment must keep
+// ranks of one node on one shard — the shared-memory path and the FIFO mesh
+// are direct same-shard interactions.
+func NewNetworkShards(sh *sim.Shards, n int, cfg Config) *Network {
+	return newNetwork(sh.KernelFor, sh.FabricKernel(), n, cfg, true)
+}
+
+func newNetwork(kernelFor func(int) *sim.Kernel, fabK *sim.Kernel, n int, cfg Config, sharded bool) *Network {
 	if err := cfg.Validate(n); err != nil {
 		panic("fabric: invalid config: " + err.Error())
 	}
 	nw := &Network{
-		K:        k,
-		Cfg:      cfg,
-		handlers: make([]func(*Packet), n),
-		fifos:    make(map[fifoKey]*Fifo),
-		regs:     make([]*RegCache, n),
+		K:           fabK,
+		Cfg:         cfg,
+		handlers:    make([]func(*Packet), n),
+		fifos:       make(map[fifoKey]*Fifo),
+		regs:        make([]*RegCache, n),
+		sharded:     sharded,
+		deliveredBy: make([]int64, n),
+		bytesBy:     make([]int64, n),
 	}
 	nw.nics = make([]*NIC, n)
 	for r := 0; r < n; r++ {
-		nw.nics[r] = newNIC(nw, r, n)
+		nw.nics[r] = newNIC(nw, r, n, kernelFor(r))
 		nw.regs[r] = NewRegCache(cfg.RegCacheEntries)
+	}
+	if sharded {
+		nw.pktFreeBy = make([][]*Packet, n)
+		// The FIFO mesh must exist up front: lazy creation writes the map
+		// from whichever shard asks first. Pairs are intra-node only, so
+		// this is N x ProcsPerNode, not N^2.
+		for src := 0; src < n; src++ {
+			base := cfg.NodeOf(src) * cfg.ProcsPerNode
+			for dst := base; dst < base+cfg.ProcsPerNode && dst < n; dst++ {
+				if dst != src {
+					nw.fifos[fifoKey{src, dst}] = NewFifo(cfg.FifoCapacity)
+				}
+			}
+		}
 	}
 	if cfg.Topo.Kind != topo.Crossbar {
 		nw.topo = newTopoState(nw, n)
 	}
 	return nw
+}
+
+// Sharded reports whether the network's ranks are spread across a shard
+// group.
+func (nw *Network) Sharded() bool { return nw.sharded }
+
+// Lookahead returns the minimum virtual latency of any cross-shard edge the
+// simulation can schedule: the crossbar's wire latency Alpha, or — with a
+// modeled topology — the smaller of the minimum link latency and Alpha (the
+// upper layers' internode completion-ACK edge runs target->origin at Alpha
+// regardless of topology). This is the bound a shard group needs for its
+// safe horizon (sim.Shards.SetLookahead).
+func (nw *Network) Lookahead() sim.Time {
+	if nw.topo != nil {
+		if l := nw.topo.eng.MinLinkLat(); l < nw.Cfg.Alpha {
+			return l
+		}
+	}
+	return nw.Cfg.Alpha
 }
 
 // AllocPacket returns a zeroed packet from the network's free-list. Pooled
@@ -82,6 +149,9 @@ func NewNetwork(k *sim.Kernel, n int, cfg Config) *Network {
 // fast path allocation-free. Handlers that keep packets past delivery (the
 // two-sided inbox) must keep using literals.
 func (nw *Network) AllocPacket() *Packet {
+	if nw.sharded {
+		panic("fabric: AllocPacket on a sharded network; use AllocPacketAt(rank)")
+	}
 	if l := len(nw.pktFree); l > 0 {
 		p := nw.pktFree[l-1]
 		nw.pktFree[l-1] = nil
@@ -91,9 +161,34 @@ func (nw *Network) AllocPacket() *Packet {
 	return &Packet{nw: nw, pooled: true}
 }
 
-// release zeroes a pooled packet and returns it to the free-list.
+// AllocPacketAt is AllocPacket for callers that may run on a sharded
+// network: rank names the rank in whose context the caller executes, whose
+// per-rank pool (touched only by its own shard) backs the allocation. On a
+// serial network it is identical to AllocPacket.
+func (nw *Network) AllocPacketAt(rank int) *Packet {
+	if !nw.sharded {
+		return nw.AllocPacket()
+	}
+	pool := nw.pktFreeBy[rank]
+	if l := len(pool); l > 0 {
+		p := pool[l-1]
+		pool[l-1] = nil
+		nw.pktFreeBy[rank] = pool[:l-1]
+		return p
+	}
+	return &Packet{nw: nw, pooled: true}
+}
+
+// release zeroes a pooled packet and returns it to a free-list: the shared
+// one when serial, the destination rank's (the delivery context — the only
+// place pooled packets are released) when sharded.
 func (nw *Network) release(p *Packet) {
+	dst := p.Dst
 	*p = Packet{nw: nw, pooled: true}
+	if nw.sharded {
+		nw.pktFreeBy[dst] = append(nw.pktFreeBy[dst], p)
+		return
+	}
 	nw.pktFree = append(nw.pktFree, p)
 }
 
@@ -117,6 +212,13 @@ func (nw *Network) RegCache(r int) *RegCache { return nw.regs[r] }
 func (nw *Network) EnableFaults(fp FaultProfile) {
 	if nw.faults != nil {
 		panic("fabric: EnableFaults called twice")
+	}
+	if nw.sharded {
+		// The injector draws every link's fate from one RNG stream and the
+		// reliability sublayer mutates both endpoints' link state on each
+		// transmission — inherently serial. Fault studies run on the serial
+		// kernel; refusing here beats silently racing.
+		panic("fabric: fault injection requires the serial kernel (network is sharded)")
 	}
 	nw.faults = newFaultState(nw, fp)
 }
@@ -144,12 +246,14 @@ func (nw *Network) Send(p *Packet) {
 	if err := p.Validate(len(nw.nics)); err != nil {
 		panic("fabric: send: " + err.Error())
 	}
+	if p.nw == nil {
+		p.nw = nw // literal packet: adopt it so delivery events can route it
+	}
 	if nw.Cfg.SameNode(p.Src, p.Dst) {
 		d := nw.Cfg.AlphaIntra + nw.Cfg.IntraCopyTime(p.Size)
-		if p.nw == nil {
-			p.nw = nw // literal packet: adopt it so deliverLocal can route it
-		}
-		nw.K.AfterCall(d, deliverLocal, p)
+		// Same-node ranks live on the same shard, so this stays a local
+		// (band-0) event on the source rank's kernel.
+		nw.nics[p.Src].k.AfterCall(d, deliverLocal, p)
 		return
 	}
 	nw.nics[p.Src].enqueue(p)
@@ -175,8 +279,8 @@ func (nw *Network) deliver(p *Packet) {
 	if err := p.Validate(len(nw.nics)); err != nil {
 		panic("fabric: deliver: " + err.Error())
 	}
-	nw.Delivered++
-	nw.BytesMoved += p.Size
+	nw.deliveredBy[p.Dst]++
+	nw.bytesBy[p.Dst] += p.Size
 	h := nw.handlers[p.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("fabric: no delivery handler for rank %d (packet kind %d from %d)", p.Dst, p.Kind, p.Src))
@@ -187,10 +291,29 @@ func (nw *Network) deliver(p *Packet) {
 	}
 }
 
+// Delivered returns the total packets handed to delivery handlers.
+func (nw *Network) Delivered() int64 {
+	var n int64
+	for _, c := range nw.deliveredBy {
+		n += c
+	}
+	return n
+}
+
+// BytesMoved returns the total payload bytes delivered.
+func (nw *Network) BytesMoved() int64 {
+	var n int64
+	for _, c := range nw.bytesBy {
+		n += c
+	}
+	return n
+}
+
 // Fifo returns the intranode 64-bit notification FIFO carrying packets from
-// src to dst. Both ranks must share a node. FIFOs are created lazily; the
-// two directions of a pair are independent rings (the paper's "two-way
-// shared-memory wait-free FIFO").
+// src to dst. Both ranks must share a node. FIFOs are created lazily on a
+// serial network and eagerly at construction on a sharded one (the map then
+// stays read-only); the two directions of a pair are independent rings (the
+// paper's "two-way shared-memory wait-free FIFO").
 func (nw *Network) Fifo(src, dst int) *Fifo {
 	if !nw.Cfg.SameNode(src, dst) {
 		panic(fmt.Sprintf("fabric: intranode FIFO requested across nodes (%d->%d)", src, dst))
@@ -198,6 +321,9 @@ func (nw *Network) Fifo(src, dst int) *Fifo {
 	key := fifoKey{src, dst}
 	f, ok := nw.fifos[key]
 	if !ok {
+		if nw.sharded {
+			panic(fmt.Sprintf("fabric: intranode FIFO %d->%d missing from eager mesh", src, dst))
+		}
 		f = NewFifo(nw.Cfg.FifoCapacity)
 		nw.fifos[key] = f
 	}

@@ -28,6 +28,11 @@ type desc struct {
 type NIC struct {
 	nw   *Network
 	rank int
+	// k is the kernel the NIC runs on: the owning rank's shard kernel, or
+	// the network's single kernel when serial. Every NIC-local event (wire
+	// occupancy, credit return) schedules here; only packet delivery and
+	// topology ingress cross shards.
+	k *sim.Kernel
 
 	queue []*desc
 	busy  bool
@@ -49,10 +54,11 @@ type NIC struct {
 	creditInit int
 }
 
-func newNIC(nw *Network, rank, n int) *NIC {
+func newNIC(nw *Network, rank, n int, k *sim.Kernel) *NIC {
 	return &NIC{
 		nw:         nw,
 		rank:       rank,
+		k:          k,
 		credits:    make([]int, n),
 		skip:       make([]uint64, n),
 		creditInit: nw.Cfg.CreditsPerPeer,
@@ -146,14 +152,22 @@ func (n *NIC) transmit(d *desc) {
 	n.Sent++
 	n.BytesSent += d.pkt.Size
 	wire := n.nw.Cfg.WireTime(d.pkt.Size) + d.regCost
-	n.nw.K.AfterCall(wire, descTxDone, d)
+	n.k.AfterCall(wire, descTxDone, d)
 }
 
 // descTxDone runs when the descriptor's last byte leaves the injection
 // pipeline: it frees the wire, signals local completion, and schedules
 // propagation plus (with flow control on) the hardware ACK that returns the
-// credit. All continuations are shared functions taking the descriptor, so
-// the whole per-packet pipeline costs zero allocations.
+// credit. All continuations are shared functions taking the descriptor or
+// packet, so the whole per-packet pipeline costs zero allocations.
+//
+// Ownership split for the sharded kernel: the packet is detached here and
+// crosses to the destination rank alone (pktDeliver), while the descriptor —
+// per-NIC state — never leaves the source shard; its credit return is a
+// local event. With AckLatency 0 the credit therefore returns before the
+// same-instant delivery fires (local band-0 events precede cross band-1
+// events) — the opposite of the old serial interleave, but deterministic,
+// identical in both modes, and invisible at any nonzero AckLatency.
 func descTxDone(x any) {
 	d := x.(*desc)
 	n := d.n
@@ -162,49 +176,41 @@ func descTxDone(x any) {
 	if d.pkt.OnTxDone != nil {
 		d.pkt.OnTxDone()
 	}
-	k := n.nw.K
+	k := n.k
 	if fs := n.nw.faults; fs != nil {
 		// Faulty fabric: the reliability sublayer owns delivery, credit
 		// return and the descriptor from here on (and routes surviving
 		// copies through the topology itself when one is configured).
+		// Serial-only — EnableFaults rejects sharded networks.
 		fs.sendReliable(d)
 		return
 	}
-	if ts := n.nw.topo; ts != nil {
-		// Modeled topology: the packet crosses the interconnect hop by
-		// hop; delivery, credit return and the descriptor are handled at
-		// egress (topoState.egress).
-		ts.sendDesc(d)
+	if n.nw.topo != nil {
+		// Modeled topology: the packet crosses the interconnect hop by hop.
+		// The handoff to the engine is same-instant — no lookahead covers it
+		// — so it crosses as a band-1 event consumed by the fabric stage of
+		// the very round that produced it; delivery, credit return and the
+		// descriptor come back from egress (topoState.egress).
+		k.AtCross(k.Now(), topoIngress, d, n.rank, -1)
 		n.tryStart()
 		return
 	}
+	pkt := d.pkt
+	d.pkt = nil
 	if n.creditInit > 0 {
-		// The credit-return event runs after the delivery event (it is
-		// scheduled later at >= the same time), and owns freeing d.
-		k.AfterCall(cfg.Alpha, descDeliver, d)
 		k.AfterCall(cfg.Alpha+cfg.AckLatency, descCreditReturn, d)
 	} else {
-		k.AfterCall(cfg.Alpha, descDeliverFree, d)
+		n.freeDesc(d)
 	}
+	k.AtCross(k.Now()+cfg.Alpha, pktDeliver, pkt, n.rank, pkt.Dst)
 	n.tryStart()
 }
 
-// descDeliver propagates the packet to its destination; the descriptor
-// stays alive for the pending credit-return event.
-func descDeliver(x any) {
-	d := x.(*desc)
-	d.n.nw.deliver(d.pkt)
-	d.pkt = nil // the network may recycle the packet now
-}
-
-// descDeliverFree is descDeliver for the no-flow-control configuration,
-// where no credit event will free the descriptor.
-func descDeliverFree(x any) {
-	d := x.(*desc)
-	n := d.n
-	pkt := d.pkt
-	n.freeDesc(d)
-	n.nw.deliver(pkt)
+// pktDeliver propagates a detached packet to its destination; on a sharded
+// network it runs on the destination rank's shard.
+func pktDeliver(x any) {
+	p := x.(*Packet)
+	p.nw.deliver(p)
 }
 
 // descCreditReturn models the hardware ACK: the peer's credit comes back,

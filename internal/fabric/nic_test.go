@@ -185,8 +185,8 @@ func TestDeliveryStats(t *testing.T) {
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if nw.Delivered != 2 || nw.BytesMoved != 300 {
-		t.Fatalf("stats delivered=%d bytes=%d, want 2/300", nw.Delivered, nw.BytesMoved)
+	if nw.Delivered() != 2 || nw.BytesMoved() != 300 {
+		t.Fatalf("stats delivered=%d bytes=%d, want 2/300", nw.Delivered(), nw.BytesMoved())
 	}
 }
 

@@ -70,28 +70,55 @@ func topoSendPacket(x any) {
 	p.nw.topo.sendPacket(p)
 }
 
-// egress runs when a packet leaves its last link: it is the topology-path
-// counterpart of descDeliver/descCreditReturn (lossless descriptors) and
-// relDeliver (reliability-sublayer copies).
-func (ts *topoState) egress(payload any, _ int) {
+// topoIngress hands a lossless-path descriptor to the topology engine. On a
+// sharded network it runs on the fabric stage (the engine's home).
+func topoIngress(x any) {
+	d := x.(*desc)
+	d.n.nw.topo.sendDesc(d)
+}
+
+// egress runs on the engine's kernel when a packet starts its final-link
+// flight, delay (>= one link latency, the shard group's lookahead bound)
+// before arrival. It is the topology-path counterpart of descTxDone's
+// delivery/credit scheduling: the packet detaches and crosses to its
+// destination rank, the descriptor crosses back to its source NIC. The
+// fabric engine owns no rank, so its cross events carry owner -1.
+func (ts *topoState) egress(delay sim.Time, payload any, _ int) {
 	nw := ts.nw
+	k := nw.K
 	switch v := payload.(type) {
 	case *desc:
-		n := v.n
-		if n.creditInit > 0 {
-			nw.deliver(v.pkt)
-			v.pkt = nil // the network may recycle the packet now
-			nw.K.AfterCall(nw.Cfg.AckLatency, descCreditReturn, v)
+		pkt := v.pkt
+		v.pkt = nil
+		k.AtCross(k.Now()+delay, pktDeliver, pkt, -1, pkt.Dst)
+		if v.n.creditInit > 0 {
+			// Arrival + AckLatency later the hardware ACK lands back at the
+			// source: credit return and descriptor retirement, as before.
+			k.AtCross(k.Now()+delay+nw.Cfg.AckLatency, descCreditReturn, v, -1, v.n.rank)
 		} else {
-			pkt := v.pkt
-			n.freeDesc(v)
-			nw.deliver(pkt)
+			k.AtCross(k.Now()+delay, descRetire, v, -1, v.n.rank)
 		}
 	case *Packet:
-		nw.faults.recvReliable(v)
+		// Reliability-sublayer copies ride the topology only on the faulty
+		// fabric, which is serial-only: arrival-time processing stays a
+		// local event.
+		k.AfterCall(delay, topoRelArrive, v)
 	default:
 		panic("fabric: unknown payload type left the topology")
 	}
+}
+
+// descRetire returns a spent no-flow-control descriptor to its source NIC's
+// free-list (sharded: on the source rank's shard).
+func descRetire(x any) {
+	d := x.(*desc)
+	d.n.freeDesc(d)
+}
+
+// topoRelArrive completes a reliability-sublayer copy's last hop.
+func topoRelArrive(x any) {
+	p := x.(*Packet)
+	p.nw.faults.recvReliable(p)
 }
 
 // --- Observability ----------------------------------------------------- //

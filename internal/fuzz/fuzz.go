@@ -61,6 +61,11 @@ type Options struct {
 	// control, congestion). Crossbar — the zero value — is the untouched
 	// default fabric. Composes with Lossy.
 	Topo topo.Kind
+	// Shards executes every run on a sharded kernel with this many shards
+	// (<= 1: serial). Every failure, transcript line and invariant outcome
+	// is bit-identical to serial — sharding changes only wall-clock.
+	// Lossy/topology runs fall back to serial (see ExecuteShards).
+	Shards int
 }
 
 // BothModes is the default mode set.
@@ -83,13 +88,18 @@ func CheckSeedFaults(seed uint64, mode core.Mode, lossy bool) *Failure {
 // Options.Topo). Routing, arbitration and the seed-derived shape are all
 // pure functions of (kind, seed), so topology failures replay exactly too.
 func CheckSeedTopo(seed uint64, mode core.Mode, lossy bool, kind topo.Kind) *Failure {
+	return CheckSeedShards(seed, mode, lossy, kind, 0)
+}
+
+// CheckSeedShards is CheckSeedTopo on a sharded kernel (see Options.Shards).
+func CheckSeedShards(seed uint64, mode core.Mode, lossy bool, kind topo.Kind, shards int) *Failure {
 	p := Generate(seed)
 	var fp *fabric.FaultProfile
 	if lossy {
 		prof := LossyProfile(seed)
 		fp = &prof
 	}
-	res := ExecuteTopo(p, mode, fp, kind)
+	res := ExecuteShards(p, mode, fp, kind, shards)
 	if problems := Verify(p, mode, res); len(problems) > 0 {
 		return &Failure{Seed: seed, Mode: mode, Lossy: lossy, Topo: kind, Problems: problems}
 	}
@@ -109,7 +119,7 @@ func Campaign(o Options) []Failure {
 		seed := o.Seed + uint64(i)
 		var fs []Failure
 		for _, mode := range modes {
-			if f := CheckSeedTopo(seed, mode, o.Lossy, o.Topo); f != nil {
+			if f := CheckSeedShards(seed, mode, o.Lossy, o.Topo, o.Shards); f != nil {
 				fs = append(fs, *f)
 			}
 		}

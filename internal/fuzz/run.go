@@ -106,15 +106,30 @@ func ExecuteFaults(p *Program, mode core.Mode, fp *fabric.FaultProfile) *RunResu
 // TopoSpec shape, under link arbitration and credit flow control — and, if
 // fp is also set, under fault injection on top.
 func ExecuteTopo(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.Kind) *RunResult {
+	return ExecuteShards(p, mode, fp, kind, 0)
+}
+
+// ExecuteShards is ExecuteTopo on a sharded kernel (mpi.NewWorldShards):
+// the run's every observable — memories, stats, trace, kernel event count —
+// must be bit-identical to the serial execution, which campaign tests pin.
+// Two fuzz modes silently fall back to serial: fault injection (the fabric
+// rejects sharding — one RNG stream) and modeled topologies (the tracer's
+// CongWait congestion sampling is serial-only, and dropping events would
+// break the bit-identical transcript contract). The crossbar modes — the
+// bulk of a campaign — run genuinely sharded.
+func ExecuteShards(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.Kind, shards int) *RunResult {
 	cfg := fabric.DefaultConfig()
 	cfg.ProcsPerNode = p.ProcsPerNode
 	cfg.Topo = TopoSpec(kind, p.Seed)
-	world := mpi.NewWorld(p.NRanks, cfg)
+	if fp != nil || kind != topo.Crossbar {
+		shards = 0
+	}
+	world := mpi.NewWorldShards(p.NRanks, cfg, shards)
 	if fp != nil {
 		world.Net.EnableFaults(*fp)
 	}
-	world.K.SetWatchdog(eventBudget(p, fp != nil, kind), 0)
-	world.K.EnableDiagnostics()
+	world.SetWatchdog(eventBudget(p, fp != nil, kind), 0)
+	world.EnableDiagnostics()
 	rt := core.NewRuntime(world)
 	rec := trace.NewRecorder()
 	rt.SetTracer(rec)
@@ -149,7 +164,7 @@ func ExecuteTopo(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.
 	}()
 
 	res.Events = rec.Events()
-	res.KernelEvents = world.K.Events()
+	res.KernelEvents = world.Events()
 	res.Congestion = world.Net.TopoSummary()
 	if res.Err == nil {
 		res.Mems = make([][][]byte, len(p.Windows))

@@ -1,0 +1,73 @@
+package fuzz
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// shardFingerprint compresses everything a run exposes into a comparable
+// string: final window memories, per-window statistics, the full trace
+// event stream and the kernel event count. Two runs with equal
+// fingerprints executed the same observable history.
+func shardFingerprint(r *RunResult) string {
+	out := fmt.Sprintf("err=%v kernel_events=%d\n", r.Err, r.KernelEvents)
+	for wi, byRank := range r.Mems {
+		for rk, mem := range byRank {
+			out += fmt.Sprintf("mem w%d r%d %x\n", wi, rk, mem)
+		}
+	}
+	for rk, wins := range r.Stats {
+		for wi, st := range wins {
+			out += fmt.Sprintf("stats r%d w%d %+v\n", rk, wi, st)
+		}
+	}
+	for _, e := range r.Events {
+		out += fmt.Sprintf("ev %+v\n", e)
+	}
+	return out
+}
+
+// The fuzzer-level shard guarantee: a program's entire observable history —
+// memory, statistics, trace stream, even the number of kernel events — is
+// bit-identical at every shard count, including serial.
+func TestShardedRunsMatchSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 7, 19, 42} {
+		p := Generate(seed)
+		for _, mode := range BothModes {
+			serial := shardFingerprint(ExecuteShards(p, mode, nil, topo.Crossbar, 0))
+			for _, shards := range []int{2, 4, 8} {
+				got := shardFingerprint(ExecuteShards(p, mode, nil, topo.Crossbar, shards))
+				if got != serial {
+					t.Fatalf("seed %d mode %v: observable history differs between serial and %d shards\n--- serial ---\n%.2000s\n--- sharded ---\n%.2000s",
+						seed, mode, shards, serial, got)
+				}
+			}
+		}
+	}
+}
+
+// A sharded campaign produces the same transcript as a serial one — the
+// invariant battery, the failure set and the report order all survive the
+// kernel partitioning.
+func TestShardedCampaignMatchesSerial(t *testing.T) {
+	run := func(shards int) string {
+		out := ""
+		fails := Campaign(Options{
+			N:      10,
+			Seed:   1,
+			Modes:  []core.Mode{core.ModeNew},
+			Shards: shards,
+			Report: func(seed uint64, fs []Failure) {
+				out += fmt.Sprintf("seed %d: %d failures\n", seed, len(fs))
+			},
+		})
+		return fmt.Sprintf("%sfailures=%d", out, len(fails))
+	}
+	serial := run(0)
+	if sharded := run(4); sharded != serial {
+		t.Fatalf("campaign transcript differs between serial and 4 shards:\n--- serial ---\n%s\n--- sharded ---\n%s", serial, sharded)
+	}
+}

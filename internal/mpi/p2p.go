@@ -131,10 +131,21 @@ func (r *Rank) handleTwoSided(p *fabric.Packet) bool {
 		if op == nil {
 			panic(fmt.Sprintf("mpi: rank %d got CTS for unknown send %d", r.ID, id))
 		}
-		r.world.Net.Send(&fabric.Packet{
+		pkt := &fabric.Packet{
 			Src: r.ID, Dst: p.Src, Kind: fabric.KindRData, Size: op.size,
 			Payload: op.data, Arg: [4]int64{int64(op.tag), id, op.size, 0},
-		})
+		}
+		// Sender-side completion: the hardware send-completion event the
+		// sender NIC raises once the data left the wire. It runs at the
+		// sender (r is the CTS's destination — the sender), so on a sharded
+		// world no remote rank's state is ever touched.
+		pkt.OnTxDone = func() {
+			if sop := r.sendOps[id]; sop != nil {
+				delete(r.sendOps, id)
+				sop.req.Complete()
+			}
+		}
+		r.world.Net.Send(pkt)
 		return true
 	case fabric.KindRData:
 		// The receive matched at RTS time; find the claimed receive.
@@ -147,13 +158,6 @@ func (r *Rank) handleTwoSided(p *fabric.Packet) bool {
 		}
 		r.unpost(op.req)
 		op.req.Complete()
-		// Sender-side completion: models the hardware send-completion event
-		// the sender NIC raises once the data left the wire.
-		sender := r.world.ranks[p.Src]
-		if sop := sender.sendOps[p.Arg[1]]; sop != nil {
-			delete(sender.sendOps, p.Arg[1])
-			sop.req.Complete()
-		}
 		return true
 	case fabric.KindBarrier:
 		r.barrier.arrive(p.Arg[0], p.Arg[1])

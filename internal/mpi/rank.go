@@ -12,6 +12,7 @@ import (
 type Rank struct {
 	world *World
 	ID    int
+	k     *sim.Kernel // the shard kernel this rank lives on
 	Proc  *sim.Proc
 
 	// Wake fires whenever anything that might complete a request happens
@@ -33,18 +34,23 @@ type Rank struct {
 	TimeInMPI sim.Time
 }
 
-func newRank(w *World, id int) *Rank {
-	return &Rank{world: w, ID: id, Wake: sim.NewSignal(w.K)}
+func newRank(w *World, id int, k *sim.Kernel) *Rank {
+	return &Rank{world: w, ID: id, k: k, Wake: sim.NewSignal(k)}
 }
 
 // World returns the job this rank belongs to.
 func (r *Rank) World() *World { return r.world }
 
+// Kernel returns the kernel this rank lives on — rank-local work (timers,
+// self-deliveries, epoch timeouts) must schedule here, never on a global
+// kernel, so it holds on a sharded world.
+func (r *Rank) Kernel() *sim.Kernel { return r.k }
+
 // Size returns the job size.
 func (r *Rank) Size() int { return len(r.world.ranks) }
 
 // Now returns the current virtual time.
-func (r *Rank) Now() sim.Time { return r.world.K.Now() }
+func (r *Rank) Now() sim.Time { return r.k.Now() }
 
 // Compute models d nanoseconds of CPU-bound application work, during which
 // this rank's software progress engines do not run.

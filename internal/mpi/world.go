@@ -14,21 +14,46 @@ import (
 	"repro/internal/sim"
 )
 
-// World is one simulated MPI job: a kernel, a network, and n ranks.
+// World is one simulated MPI job: a kernel (or a shard group), a network,
+// and n ranks.
 type World struct {
+	// K is the single serial kernel; nil when the world is sharded. Code
+	// that must work in both modes goes through KernelFor / the World-level
+	// SetWatchdog, EnableDiagnostics, Events and AddDiagProvider wrappers.
 	K   *sim.Kernel
 	Net *fabric.Network
 
+	sh    *sim.Shards // nil when serial
 	ranks []*Rank
 }
 
-// NewWorld creates a job of n ranks over a fresh kernel and network.
+// NewWorld creates a job of n ranks over a fresh serial kernel and network.
 func NewWorld(n int, cfg fabric.Config) *World {
-	k := sim.NewKernel()
-	w := &World{K: k, Net: fabric.NewNetwork(k, n, cfg)}
+	return NewWorldShards(n, cfg, 0)
+}
+
+// NewWorldShards creates a job of n ranks executing across the given number
+// of kernel shards (conservative parallel simulation, sim.Shards); 0 or 1
+// shards means the plain serial kernel. Ranks are assigned to shards in
+// contiguous node blocks — never splitting a fabric node, whose ranks
+// interact at zero latency — and the shard count is silently clamped to the
+// node count. Every observable of the run is bit-identical across shard
+// counts, including serial.
+func NewWorldShards(n int, cfg fabric.Config, shards int) *World {
+	w := &World{}
+	if shards > 1 {
+		sh := sim.NewShards(shardAssign(n, cfg, shards))
+		w.sh = sh
+		w.Net = fabric.NewNetworkShards(sh, n, cfg)
+		sh.SetLookahead(w.Net.Lookahead())
+	} else {
+		k := sim.NewKernel()
+		w.K = k
+		w.Net = fabric.NewNetwork(k, n, cfg)
+	}
 	w.ranks = make([]*Rank, n)
 	for i := 0; i < n; i++ {
-		w.ranks[i] = newRank(w, i)
+		w.ranks[i] = newRank(w, i, w.KernelFor(i))
 		r := w.ranks[i]
 		w.Net.SetHandler(i, r.onDeliver)
 	}
@@ -38,7 +63,7 @@ func NewWorld(n int, cfg fabric.Config) *World {
 	// (queue depths, credit stalls, hottest links), so a fault- or
 	// congestion-induced stall reads differently from a protocol deadlock.
 	// Contributes nothing when faults are off and the crossbar is in use.
-	k.AddDiagProvider(func(p *sim.Proc) string {
+	w.AddDiagProvider(func(p *sim.Proc) string {
 		for _, r := range w.ranks {
 			if r.Proc == p {
 				fd, td := w.Net.FaultDiag(r.ID), w.Net.TopoDiag(r.ID)
@@ -57,19 +82,89 @@ func NewWorld(n int, cfg fabric.Config) *World {
 	return w
 }
 
+// shardAssign maps ranks to shards: whole nodes, contiguous blocks, spread
+// as evenly as node granularity allows.
+func shardAssign(n int, cfg fabric.Config, shards int) []int {
+	nodes := cfg.NodeOf(n-1) + 1
+	if shards > nodes {
+		shards = nodes
+	}
+	assign := make([]int, n)
+	for r := range assign {
+		assign[r] = cfg.NodeOf(r) * shards / nodes
+	}
+	return assign
+}
+
+// Sharded reports whether the world executes across kernel shards.
+func (w *World) Sharded() bool { return w.sh != nil }
+
+// NumShards returns the number of rank shards (1 when serial).
+func (w *World) NumShards() int {
+	if w.sh == nil {
+		return 1
+	}
+	return w.sh.NumShards()
+}
+
+// KernelFor returns the kernel that owns rank i.
+func (w *World) KernelFor(i int) *sim.Kernel {
+	if w.sh == nil {
+		return w.K
+	}
+	return w.sh.KernelFor(i)
+}
+
+// SetWatchdog arms the simulation's hang protection (sim.Kernel.SetWatchdog
+// / sim.Shards.SetWatchdog).
+func (w *World) SetWatchdog(maxEvents uint64, maxTime sim.Time) {
+	if w.sh == nil {
+		w.K.SetWatchdog(maxEvents, maxTime)
+		return
+	}
+	w.sh.SetWatchdog(maxEvents, maxTime)
+}
+
+// EnableDiagnostics enables blocking-call-site capture for hang reports.
+func (w *World) EnableDiagnostics() {
+	if w.sh == nil {
+		w.K.EnableDiagnostics()
+		return
+	}
+	w.sh.EnableDiagnostics()
+}
+
+// Events returns the total number of simulation events processed.
+func (w *World) Events() uint64 {
+	if w.sh == nil {
+		return w.K.Events()
+	}
+	return w.sh.Events()
+}
+
+// AddDiagProvider registers a per-proc diagnostic hook on every kernel.
+func (w *World) AddDiagProvider(fn func(*sim.Proc) string) {
+	if w.sh == nil {
+		w.K.AddDiagProvider(fn)
+		return
+	}
+	w.sh.AddDiagProvider(fn)
+}
+
 // Size returns the number of ranks in the job.
 func (w *World) Size() int { return len(w.ranks) }
 
 // Rank returns rank i.
 func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 
-// Launch spawns rank i's application body as a simulated process.
+// Launch spawns rank i's application body as a simulated process on the
+// rank's kernel.
 func (w *World) Launch(i int, body func(*Rank)) {
 	r := w.ranks[i]
 	if r.Proc != nil {
 		panic(fmt.Sprintf("mpi: rank %d launched twice", i))
 	}
-	r.Proc = w.K.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) { body(r) })
+	r.Proc = r.k.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) { body(r) })
 }
 
 // Run launches body on every rank and executes the simulation to
@@ -77,6 +172,9 @@ func (w *World) Launch(i int, body func(*Rank)) {
 func (w *World) Run(body func(*Rank)) error {
 	for i := range w.ranks {
 		w.Launch(i, body)
+	}
+	if w.sh != nil {
+		return w.sh.Run()
 	}
 	return w.K.Run()
 }

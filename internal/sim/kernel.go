@@ -33,6 +33,14 @@ const (
 // and argFn is set; the argFn form lets hot paths schedule a shared,
 // capture-free function with a pointer argument instead of allocating a
 // fresh closure per event.
+//
+// seq is a composite key with two bands (see AtCross). Band 0 — plain
+// At/AtCall events — uses the kernel's local insertion counter. Band 1 —
+// cross-owner events — sets the top bit and encodes (owner, per-owner
+// counter), a key that is a pure function of the program rather than of the
+// global interleaving, which is what makes sharded execution bit-identical
+// to serial. All band-1 events at a timestamp fire after all band-0 events
+// at that timestamp, in (owner, counter) order.
 type event struct {
 	at    Time
 	seq   uint64
@@ -40,6 +48,15 @@ type event struct {
 	argFn func(any)
 	arg   any
 }
+
+// Band-1 seq layout: [63]=1 | [40..62]=owner+1 (23 bits) | [0..39]=counter.
+// owner -1 (the fabric engine pseudo-owner) encodes as 0.
+const (
+	crossBand       uint64 = 1 << 63
+	crossOwnerShift        = 40
+	crossOwnerMax          = 1<<23 - 2
+	crossCntMax            = 1<<crossOwnerShift - 1
+)
 
 // call invokes the event's callback.
 func (e *event) call() {
@@ -90,6 +107,16 @@ type Kernel struct {
 	// diagProviders contribute extra per-proc state (e.g. RMA epoch dumps)
 	// to deadlock and watchdog reports. Only invoked when building a report.
 	diagProviders []func(*Proc) string
+
+	// Sharded execution (see shards.go). group is non-nil when this kernel
+	// is one shard of a Shards run; shardID is its index there (the fabric
+	// stage uses index len(rank shards)). crossCnt holds the per-owner
+	// band-1 counters, indexed by owner+1; in a sharded run each shard only
+	// touches the counters of the owners it executes, so the slices never
+	// race.
+	group    *Shards
+	shardID  int
+	crossCnt []uint64
 }
 
 // NewKernel returns an empty simulation kernel at virtual time zero.
@@ -186,6 +213,54 @@ func (k *Kernel) AtCall(t Time, fn func(any), arg any) {
 // AfterCall schedules fn(arg) d nanoseconds of virtual time from now.
 func (k *Kernel) AfterCall(d Time, fn func(any), arg any) { k.AtCall(k.now+d, fn, arg) }
 
+// AtCross schedules fn(arg) at virtual time t with a band-1 key derived from
+// owner — the logical source of the event (a rank ID, or -1 for the fabric
+// engine) — and routes it to the shard owning dst (a rank ID, or -1 for the
+// fabric stage) when the kernel is part of a sharded run.
+//
+// The band-1 key (owner, per-owner counter) is a pure function of owner's own
+// execution, not of the global event interleaving, so the firing order of
+// cross events is identical whether the simulation runs serially or across
+// any number of shards. Serial kernels use the exact same keys at the exact
+// same call sites: all band-1 events at a timestamp fire after that
+// timestamp's band-0 events, ordered by (owner, counter). Call sites whose
+// events may land on another rank's shard (packet deliveries, credit returns
+// crossing the fabric) must use this form; same-shard scheduling should keep
+// using At/AtCall.
+func (k *Kernel) AtCross(t Time, fn func(any), arg any, owner, dst int) {
+	if t < k.now {
+		k.abort(fmt.Errorf("sim: event scheduled in the past: t=%d now=%d", t, k.now))
+		return
+	}
+	e := event{at: t, seq: k.crossSeq(owner), argFn: fn, arg: arg}
+	if g := k.group; g != nil {
+		if ds := g.shardFor(dst); ds != k.shardID {
+			g.outbox[k.shardID][ds] = append(g.outbox[k.shardID][ds], e)
+			return
+		}
+	}
+	k.push(e)
+}
+
+// crossSeq mints the next band-1 key for owner.
+func (k *Kernel) crossSeq(owner int) uint64 {
+	if owner < -1 || owner > crossOwnerMax {
+		panic(fmt.Sprintf("sim: cross-event owner %d out of range", owner))
+	}
+	i := owner + 1
+	if i >= len(k.crossCnt) {
+		cnt := make([]uint64, i+1)
+		copy(cnt, k.crossCnt)
+		k.crossCnt = cnt
+	}
+	c := k.crossCnt[i]
+	k.crossCnt[i] = c + 1
+	if c > crossCntMax {
+		panic(fmt.Sprintf("sim: cross-event counter overflow for owner %d", owner))
+	}
+	return crossBand | uint64(i)<<crossOwnerShift | c
+}
+
 // abort records a fatal kernel error; Run returns it once the active proc
 // yields.
 func (k *Kernel) abort(err error) {
@@ -207,13 +282,23 @@ func (k *Kernel) SpawnAt(t Time, name string, body func(*Proc)) *Proc {
 		Name:   name,
 		ID:     len(k.procs),
 		resume: make(chan struct{}, 1),
+		body:   body,
 	}
 	k.procs = append(k.procs, p)
-	k.At(t, func() {
-		go p.run(body)
-		k.switchTo(p)
-	})
+	k.AtCall(t, startProc, p)
 	return p
+}
+
+// startProc is the shared, capture-free start event of SpawnAt: it launches
+// the proc's goroutine and hands it the execution token. The body reference
+// is dropped once consumed so the proc does not pin its closure for the rest
+// of the run.
+func startProc(x any) {
+	p := x.(*Proc)
+	body := p.body
+	p.body = nil
+	go p.run(body)
+	p.k.switchTo(p)
 }
 
 // switchTo hands the execution token to p and blocks until p yields it back.
@@ -264,6 +349,9 @@ func (k *Kernel) Run() error {
 	if k.started {
 		return fmt.Errorf("sim: kernel already ran")
 	}
+	if k.group != nil {
+		return fmt.Errorf("sim: kernel is a shard; drive it through Shards.Run")
+	}
 	k.started = true
 	for len(k.heap) > 0 {
 		e := k.pop()
@@ -290,14 +378,26 @@ func (k *Kernel) Run() error {
 }
 
 // Drain processes pending events until the queue is empty, without Run's
-// run-once guard, watchdog budgets or deadlock detection. It exists so
-// microbenchmarks and allocation tests outside this package can pump the
-// kernel in repeatable steps; simulations use Run.
+// run-once guard or deadlock detection. It exists so microbenchmarks and
+// allocation tests outside this package can pump the kernel in repeatable
+// steps; simulations use Run. The watchdog budgets (SetWatchdog) ARE
+// honored — a harness bug that makes a pumped chain self-reschedule forever
+// must abort like any other livelock instead of hanging CI — with the same
+// error shapes as Run. Budgets accumulate across Drain calls, exactly as
+// they would across the events of one Run.
 func (k *Kernel) Drain() error {
 	for len(k.heap) > 0 {
 		e := k.pop()
 		k.now = e.at
+		if k.maxTime > 0 && k.now > k.maxTime {
+			return fmt.Errorf("sim: watchdog: virtual time %d exceeded horizon %d\n%s",
+				k.now, k.maxTime, k.report())
+		}
 		k.nEvents++
+		if k.maxEvents > 0 && k.nEvents > k.maxEvents {
+			return fmt.Errorf("sim: watchdog: event budget %d exhausted at t=%d (possible livelock)\n%s",
+				k.maxEvents, k.now, k.report())
+		}
 		e.call()
 		if k.fail != nil {
 			return k.fail
@@ -308,6 +408,31 @@ func (k *Kernel) Drain() error {
 
 // Events returns the number of events processed so far.
 func (k *Kernel) Events() uint64 { return k.nEvents }
+
+// nextAt returns the activation time of the earliest pending event.
+func (k *Kernel) nextAt() (Time, bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.heap[0].at, true
+}
+
+// runUntil executes every pending event with activation time strictly below
+// horizon, including events those events insert locally. It is the per-round
+// body of one shard: the per-event watchdog checks live at the round level
+// (Shards.Run), so only abort propagation is handled here.
+func (k *Kernel) runUntil(horizon Time) error {
+	for len(k.heap) > 0 && k.heap[0].at < horizon {
+		e := k.pop()
+		k.now = e.at
+		k.nEvents++
+		e.call()
+		if k.fail != nil {
+			return k.fail
+		}
+	}
+	return nil
+}
 
 // parked lists the names of procs that are blocked with no pending wakeup.
 func (k *Kernel) parked() []string {
@@ -327,29 +452,36 @@ func (k *Kernel) parked() []string {
 func (k *Kernel) report() string {
 	var b strings.Builder
 	b.WriteString("blocked procs:\n")
+	if k.reportInto(&b) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// reportInto appends this kernel's blocked-proc sections to b and returns
+// how many it wrote (shared by Kernel.report and the aggregated
+// Shards.report, which must render byte-identical text).
+func (k *Kernel) reportInto(b *strings.Builder) int {
 	n := 0
 	for _, p := range k.procs {
 		if p.finished {
 			continue
 		}
 		n++
-		fmt.Fprintf(&b, "  %s: waiting on %q", p.Name, p.waitTag)
+		fmt.Fprintf(b, "  %s: waiting on %q", p.Name, p.waitTag)
 		if site := p.waitSite(); site != "" {
-			fmt.Fprintf(&b, " at %s", site)
+			fmt.Fprintf(b, " at %s", site)
 		}
 		b.WriteByte('\n')
 		for _, fn := range k.diagProviders {
 			if d := fn(p); d != "" {
 				for _, line := range strings.Split(strings.TrimRight(d, "\n"), "\n") {
-					fmt.Fprintf(&b, "    %s\n", line)
+					fmt.Fprintf(b, "    %s\n", line)
 				}
 			}
 		}
 	}
-	if n == 0 {
-		b.WriteString("  (none)\n")
-	}
-	return strings.TrimRight(b.String(), "\n")
+	return n
 }
 
 // Procs returns all processes ever spawned, in spawn order.

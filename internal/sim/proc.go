@@ -23,6 +23,10 @@ type Proc struct {
 	// only when a report is built.
 	waitPCs  [16]uintptr
 	waitPCsN int
+
+	// body holds the application function between SpawnAt and the start
+	// event (startProc), so spawning schedules no closure.
+	body func(*Proc)
 }
 
 // run is the goroutine entry point. It waits for the first resume, executes

@@ -31,8 +31,12 @@ type Engine struct {
 	K *sim.Kernel
 	G *Graph
 
-	// deliver receives every packet that reaches its destination host.
-	deliver func(payload any, dst int)
+	// deliver receives every packet entering its final-link flight: it is
+	// invoked at transmission end, delay (that link's latency) before the
+	// packet's arrival instant. Surfacing the remaining latency — instead of
+	// waiting it out inside the engine — gives a sharded fabric a full
+	// link-latency lookahead window to ship the delivery across shards.
+	deliver func(delay sim.Time, payload any, dst int)
 
 	links []linkState
 	free  []*token
@@ -100,8 +104,9 @@ type token struct {
 }
 
 // NewEngine builds the runtime for a built graph. deliver is invoked in
-// kernel context for every packet that reaches its destination host.
-func NewEngine(k *sim.Kernel, g *Graph, deliver func(payload any, dst int)) *Engine {
+// kernel context for every packet that reaches its destination host, one
+// final-link latency before the arrival instant (see Engine.deliver).
+func NewEngine(k *sim.Kernel, g *Graph, deliver func(delay sim.Time, payload any, dst int)) *Engine {
 	e := &Engine{K: k, G: g, deliver: deliver}
 	e.links = make([]linkState, len(g.Links))
 	for i := range e.links {
@@ -239,13 +244,23 @@ func (ls *linkState) occupancy(size int64) sim.Time {
 
 // tokenTxDone fires when t's last byte leaves its current link: the wire
 // frees (the buffer slot already returned at tx start — see kick) and the
-// packet propagates one hop.
+// packet propagates one hop. A final-link packet is handed to deliver here
+// — its remaining flight is pure latency, no more shared resources — with
+// the link latency as the delivery delay.
 func tokenTxDone(x any) {
 	t := x.(*token)
 	e := t.e
 	ls := &e.links[t.cur]
 	ls.busy = false
 	e.kick(ls)
+	if t.next < 0 {
+		payload, dst := t.payload, t.dst
+		e.Delivered++
+		lat := ls.link.Lat
+		e.freeToken(t)
+		e.deliver(lat, payload, dst)
+		return
+	}
 	e.K.AfterCall(ls.link.Lat, tokenArrive, t)
 }
 
@@ -257,20 +272,24 @@ func (e *Engine) kickFeeders(ls *linkState) {
 	}
 }
 
-// tokenArrive lands t at the far end of its current link: either the
-// destination host (deliver) or the input queue of the next link, whose
-// slot the token already holds.
+// tokenArrive lands t at the far end of its current link: the input queue
+// of the next link, whose slot the token already holds (final-link packets
+// were handed to deliver at tokenTxDone and never get here).
 func tokenArrive(x any) {
 	t := x.(*token)
-	e := t.e
-	if t.next < 0 {
-		payload, dst := t.payload, t.dst
-		e.Delivered++
-		e.freeToken(t)
-		e.deliver(payload, dst)
-		return
+	t.e.enqueue(&t.e.links[t.next], t, true)
+}
+
+// MinLinkLat returns the smallest latency of any link — the lookahead bound
+// a sharded fabric may rely on between final-link handoff and arrival.
+func (e *Engine) MinLinkLat() sim.Time {
+	var min sim.Time
+	for i := range e.links {
+		if l := e.links[i].link.Lat; min == 0 || l < min {
+			min = l
+		}
 	}
-	e.enqueue(&e.links[t.next], t, true)
+	return min
 }
 
 // --- Observability ----------------------------------------------------- //

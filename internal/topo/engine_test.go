@@ -20,8 +20,9 @@ func testEngine(t *testing.T, spec Spec, nodes int) (*sim.Kernel, *Engine, *[]de
 	g := mustBuild(t, spec, nodes)
 	k := sim.NewKernel()
 	var got []delivery
-	e := NewEngine(k, g, func(payload any, dst int) {
-		got = append(got, delivery{payload.(int), dst, k.Now()})
+	e := NewEngine(k, g, func(delay sim.Time, payload any, dst int) {
+		// deliver fires at final-link tx end; the arrival instant is delay later.
+		got = append(got, delivery{payload.(int), dst, k.Now() + delay})
 	})
 	return k, e, &got
 }
@@ -266,7 +267,7 @@ func TestHostDiag(t *testing.T) {
 		t.Error("HostDiag empty after congestion")
 	}
 	quietK := sim.NewKernel()
-	quiet := NewEngine(quietK, mustBuild(t, testSpec(Ring), 4), func(any, int) {})
+	quiet := NewEngine(quietK, mustBuild(t, testSpec(Ring), 4), func(sim.Time, any, int) {})
 	if d := quiet.HostDiag(0); d != "" {
 		t.Errorf("HostDiag on idle engine = %q, want empty", d)
 	}

@@ -91,21 +91,81 @@ func (e Event) String() string {
 		e.T/sim.Microsecond, e.Rank, e.Win, e.Epoch, e.Class, e.Kind, e.Peer)
 }
 
-// Recorder accumulates events. It is driven from simulation context, which
-// is single-threaded, so no locking is needed.
+// Recorder accumulates events. Every event is recorded from the emitting
+// rank's simulation context: single-threaded on the serial kernel, one
+// thread per shard on the sharded kernel. With SetRanks called, events land
+// in per-rank buckets — each touched only by its own rank's shard, so
+// recording needs no locking in either mode — and Events() merges them by
+// (time, rank). Without SetRanks (manual recorders in tests), events go to
+// a single slice returned in record order.
 type Recorder struct {
-	events []Event
+	events []Event   // legacy single-stream storage (no SetRanks)
+	byRank [][]Event // per-rank buckets (SetRanks)
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Record appends one event.
-func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
+// SetRanks switches the recorder to per-rank buckets for a job of n ranks.
+// Must be called before any Record, and is required when the recorder is
+// attached to a sharded simulation. The merged Events() order is identical
+// whichever mode the simulation runs in.
+func (r *Recorder) SetRanks(n int) {
+	if len(r.events) > 0 || r.Len() > 0 {
+		panic("trace: SetRanks on a non-empty recorder")
+	}
+	r.byRank = make([][]Event, n)
+}
 
-// Events returns all recorded events in record order (which equals
-// virtual-time order, since the simulation clock is monotonic).
-func (r *Recorder) Events() []Event { return r.events }
+// Record appends one event.
+func (r *Recorder) Record(e Event) {
+	if r.byRank != nil {
+		r.byRank[e.Rank] = append(r.byRank[e.Rank], e)
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns all recorded events in virtual-time order. Per-rank
+// buckets merge with rank as the tie-break at equal times; each bucket is
+// internally in its rank's execution order, which the sharded kernel keeps
+// bit-identical to serial, so the merged sequence is too. Legacy
+// single-stream recorders return record order (which equals virtual-time
+// order, since the simulation clock is monotonic).
+func (r *Recorder) Events() []Event {
+	if r.byRank == nil {
+		return r.events
+	}
+	total := 0
+	for _, b := range r.byRank {
+		total += len(b)
+	}
+	out := make([]Event, 0, total)
+	idx := make([]int, len(r.byRank))
+	for len(out) < total {
+		best := -1
+		for rk, b := range r.byRank {
+			if idx[rk] >= len(b) {
+				continue
+			}
+			if best < 0 || b[idx[rk]].T < r.byRank[best][idx[best]].T {
+				best = rk
+			}
+		}
+		out = append(out, r.byRank[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
 
 // Len returns the number of recorded events.
-func (r *Recorder) Len() int { return len(r.events) }
+func (r *Recorder) Len() int {
+	if r.byRank != nil {
+		n := 0
+		for _, b := range r.byRank {
+			n += len(b)
+		}
+		return n
+	}
+	return len(r.events)
+}
