@@ -62,6 +62,8 @@ var experiments = []experiment{
 		func(n int) fmt.Stringer { return bench.Fig11EAAR(n) }},
 	{"14", "repo extension", "Fault sweep: epoch latency vs fabric drop rate under the ARQ",
 		func(n int) fmt.Stringer { return bench.FigFaultSweep(n) }},
+	{"modes", "repo extension", "Three-way mode comparison: Late Unlock under vanilla, new (blocking/nonblocking) and flush windows",
+		func(n int) fmt.Stringer { return bench.FigModes(n) }},
 	{"scale", "repo extension", "Scaling: GATS epoch at 64-512 ranks on a fixed-core fat-tree, congestion-attributed",
 		func(n int) fmt.Stringer { return bench.FigScale(n) }},
 	{"scale1k", "repo extension", "Scaling, deep point: the 1024-rank cell (run with -shards to make it cheap)",

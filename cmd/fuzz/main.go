@@ -17,6 +17,12 @@
 //	go run ./cmd/fuzz -seed 1234 -n 1 -v     # replay one seed verbosely
 //	go run ./cmd/fuzz -n 200 -lossy          # drops/dups/flaps under the ARQ
 //	go run ./cmd/fuzz -n 100 -topo fattree   # route over a congested fat-tree
+//	go run ./cmd/fuzz -n 100 -mode flush     # epochless flush-mode programs
+//
+// With -mode flush, programs come from fuzz.GenerateFlush — epochless
+// lock/lock_all/flush-burst conversations exercising core.ModeFlush and its
+// foMPI-style scalable lock protocol, with a flush-specific end-state check
+// on top of the usual battery.
 //
 // With -lossy every seed runs over a fault-injecting fabric (drop rate
 // around 1e-3 plus duplicates, corruption, jitter and link flaps — see
@@ -46,7 +52,7 @@ import (
 func main() {
 	n := flag.Int("n", 100, "number of programs (consecutive seeds)")
 	seed := flag.Uint64("seed", 1, "first seed")
-	mode := flag.String("mode", "both", "modes to run: both, new or vanilla")
+	mode := flag.String("mode", "both", "modes to run: both, new, vanilla, flush or all")
 	lossy := flag.Bool("lossy", false, "inject seeded fabric faults (recoverable schedule) under every run")
 	topoFlag := flag.String("topo", "", "route every run over a modeled interconnect: ring, torus or fattree (default: crossbar)")
 	verbose := flag.Bool("v", false, "describe each program as it runs")
@@ -69,8 +75,12 @@ func main() {
 		modes = []core.Mode{core.ModeNew}
 	case "vanilla":
 		modes = []core.Mode{core.ModeVanilla}
+	case "flush":
+		modes = []core.Mode{core.ModeFlush}
+	case "all":
+		modes = append(append([]core.Mode(nil), fuzz.BothModes...), core.ModeFlush)
 	default:
-		fmt.Fprintf(os.Stderr, "fuzz: unknown -mode %q (want both, new or vanilla)\n", *mode)
+		fmt.Fprintf(os.Stderr, "fuzz: unknown -mode %q (want both, new, vanilla, flush or all)\n", *mode)
 		stop()
 		os.Exit(2)
 	}
@@ -85,6 +95,9 @@ func main() {
 		Report: func(s uint64, fs []fuzz.Failure) {
 			if *verbose {
 				p := fuzz.Generate(s)
+				if len(modes) == 1 && modes[0] == core.ModeFlush {
+					p = fuzz.GenerateFlush(s)
+				}
 				fmt.Printf("seed %d: %d ranks (%d per node), %d windows, %d rounds, %d ops\n",
 					s, p.NRanks, p.ProcsPerNode, len(p.Windows), len(p.Rounds), p.OpCount())
 			}

@@ -23,15 +23,22 @@ import (
 // Series identifies one of the paper's test series.
 type Series int
 
-// The three test series of Section VIII (Fig 12 adds NewNB+A_A_A_R).
+// The three test series of Section VIII (Fig 12 adds NewNB+A_A_A_R), plus
+// this repo's flush-mode extension series (core.ModeFlush: epochless
+// request-based RMA with the foMPI-style scalable lock protocol).
 const (
 	SeriesMVAPICH Series = iota // vanilla MVAPICH-style RMA, blocking
 	SeriesNew                   // new design, blocking synchronizations
 	SeriesNewNB                 // new design, nonblocking synchronizations
+	SeriesFlush                 // epochless flush mode (foMPI-style)
 )
 
 // AllSeries lists the three standard series in presentation order.
 var AllSeries = []Series{SeriesMVAPICH, SeriesNew, SeriesNewNB}
+
+// ScaleSeries is AllSeries plus the flush-mode series: the columns of the
+// mode-comparison figures (FigModes, FigScale).
+var ScaleSeries = []Series{SeriesMVAPICH, SeriesNew, SeriesNewNB, SeriesFlush}
 
 // String implements fmt.Stringer with the paper's series names.
 func (s Series) String() string {
@@ -42,14 +49,19 @@ func (s Series) String() string {
 		return "New"
 	case SeriesNewNB:
 		return "New nonblocking"
+	case SeriesFlush:
+		return "Flush"
 	}
 	return "unknown"
 }
 
 // Mode maps a series to its window implementation mode.
 func (s Series) Mode() core.Mode {
-	if s == SeriesMVAPICH {
+	switch s {
+	case SeriesMVAPICH:
 		return core.ModeVanilla
+	case SeriesFlush:
+		return core.ModeFlush
 	}
 	return core.ModeNew
 }

@@ -106,6 +106,32 @@ func TestFig6Shape(t *testing.T) {
 	}
 }
 
+// TestModesShape pins the headline three-way mode comparison (FigModes,
+// the Late Unlock pattern across vanilla / new / flush windows): flush mode
+// must overlap like the nonblocking series on the holder's side and beat
+// blocking Late Unlock on the waiter's side, while paying a visible (but
+// bounded) conditional-acquire cost relative to the queued-lock design.
+func TestModesShape(t *testing.T) {
+	tb := FigModes(iters)
+	t.Log("\n" + tb.String())
+	fl, nb, bl := SeriesFlush.String(), SeriesNewNB.String(), SeriesNew.String()
+	// Holder: the IUnlock release chases the data, so the 1000us of work
+	// overlaps the transfer and the section costs ~work.
+	within(t, "flush O0 overlap", tb.Get("first lock (O0)", fl), 1100, 1.0)
+	// Waiter: no 1000us propagation (the blocking series suffers it) ...
+	if v := tb.Get("second lock (O1)", fl); v > 1000 {
+		t.Fatalf("flush O1 section %v us should avoid the holder's work time", v)
+	}
+	if tb.Get("second lock (O1)", bl) < 1100 {
+		t.Fatal("new blocking should still expose O1 to Late Unlock")
+	}
+	// ... but the conditional-acquire retries cost something relative to the
+	// queued lock, bounded by the backoff ceiling.
+	if fl, nbv := tb.Get("second lock (O1)", fl), tb.Get("second lock (O1)", nb); fl < nbv {
+		t.Fatalf("flush O1 (%v) unexpectedly beats the queued nonblocking lock (%v); retry cost vanished", fl, nbv)
+	}
+}
+
 func testFlagFigure(t *testing.T, tb interface {
 	Get(row, col string) float64
 	String() string

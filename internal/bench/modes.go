@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FigModes: the headline three-way mode comparison on the Late Unlock
+// pattern (the passive-target scenario of Fig 6), one column per window
+// implementation mode:
+//
+//   - MVAPICH: vanilla lazy locks, blocking synchronizations;
+//   - New (blocking / nonblocking): the paper's deferred-epoch design;
+//   - Flush: the epochless design (core.ModeFlush) — foMPI's scalable
+//     global/local lock protocol for mutual exclusion, with completion
+//     coming from the flush family instead of epoch closure.
+//
+// Two origins lock the same target exclusively; the first works 1000 us
+// inside its critical section. Reported: each origin's lock-section
+// latency. Flush mode releases like the nonblocking series — IUnlock's
+// release atomics chase the data, not the work — but pays the conditional-
+// atomic protocol instead of the GATS-style lock queue, so the second
+// origin's latency also exposes the retry/backoff cost of a contended
+// conditional acquire.
+//
+// Every (series) cell is an independent simulation; the figure is
+// bit-identical at any -workers or -shards count.
+func FigModes(iters int) *stats.Table {
+	rows := []string{"first lock (O0)", "second lock (O1)"}
+	cols := make([]string, len(ScaleSeries))
+	for i, s := range ScaleSeries {
+		cols[i] = s.String()
+	}
+	t := stats.NewTable("Modes: Late Unlock across window modes (vanilla / new / flush)", "us", "epoch", rows, cols)
+	res := par.Map(len(ScaleSeries), func(i int) [2]float64 {
+		first, second := modesSeries(ScaleSeries[i], iters)
+		return [2]float64{first, second}
+	})
+	for i, s := range ScaleSeries {
+		t.Set("first lock (O0)", s.String(), res[i][0])
+		t.Set("second lock (O1)", s.String(), res[i][1])
+	}
+	return t
+}
+
+func modesSeries(s Series, iters int) (first, second float64) {
+	var fS, sS []sim.Time
+	runWorld(3, Config(), func(r *mpi.Rank, rt *core.Runtime) {
+		win := rt.CreateWindow(r, BigMsg, core.WinOptions{Mode: s.Mode(), ShapeOnly: true})
+		for it := 0; it < iters; it++ {
+			r.Barrier()
+			switch r.ID {
+			case 1: // O0: locks first, works 1000 us in the critical section
+				t0 := r.Now()
+				modesSection(win, r, s, true)
+				fS = append(fS, r.Now()-t0)
+			case 2: // O1: requests the same lock shortly after O0
+				r.Compute(50 * sim.Microsecond)
+				t0 := r.Now()
+				modesSection(win, r, s, false)
+				sS = append(sS, r.Now()-t0)
+			}
+			r.Barrier()
+		}
+		win.Quiesce()
+	})
+	return mean(fS), mean(sS)
+}
+
+// modesSection runs one exclusive critical section on rank 0: a 1 MB put,
+// plus (for the slow origin) 1000 us of work, released as early as the
+// series allows.
+func modesSection(win *core.Window, r *mpi.Rank, s Series, slow bool) {
+	switch {
+	case s == SeriesFlush:
+		// foMPI protocol acquire; the unlock's release atomics are chained
+		// behind an internal flush, so they follow the data — the work
+		// overlaps the transfer and never extends the holder's tenure.
+		win.Lock(0, true)
+		win.Put(0, 0, nil, BigMsg)
+		req := win.IUnlock(0)
+		if slow {
+			r.Compute(Delay)
+		}
+		r.Wait(req)
+	case s.Nonblocking():
+		win.ILock(0, true)
+		win.Put(0, 0, nil, BigMsg)
+		req := win.IUnlock(0)
+		if slow {
+			r.Compute(Delay)
+		}
+		r.Wait(req)
+	default:
+		win.Lock(0, true)
+		win.Put(0, 0, nil, BigMsg)
+		if slow {
+			r.Compute(Delay)
+		}
+		win.Unlock(0)
+	}
+}

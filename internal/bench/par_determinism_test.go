@@ -16,6 +16,7 @@ func renderFigureSample(iters int) string {
 	txn := TxnParams{EpochsPerRank: 8, PipelineDepth: 4, Seed: 0x5eed}
 	tt, ct := Fig13LU([]int{2, 4}, LUParams{M: 64, FlopNs: 20})
 	return Fig2LatePost(iters).String() +
+		FigModes(iters).String() +
 		Fig7AAARGats(iters).String() +
 		Fig12Transactions([]int{4, 8}, txn).String() +
 		tt.String() + ct.String() +

@@ -111,10 +111,15 @@ func MeasureKernelPerf() KernelPerf {
 	p.FabricPacketsPerSec = packets / time.Since(start).Seconds()
 	p.FabricAllocsPerPacket = testing.AllocsPerRun(200, pump)
 
-	// Figure regeneration, parallel then serial.
+	// Figure regeneration, parallel then serial. FigModes keeps the flush-
+	// mode path (core.ModeFlush + the scalable lock protocol) inside the
+	// measured workload, so the zero-allocation budgets below are asserted
+	// with flush mode compiled in and exercised — a flush-mode change that
+	// puts allocations on the kernel or fabric hot path breaks the gate.
 	regen := func() {
 		Fig2LatePost(4)
 		Fig6LateUnlock(4)
+		FigModes(4)
 		Fig7AAARGats(4)
 	}
 	start = time.Now()

@@ -29,6 +29,11 @@ import (
 // time and credit stalls climb with the rank count for every series — the
 // nonblocking series does not avoid the contention, it hides it.
 //
+// The fourth column runs the same traffic in flush mode (core.ModeFlush):
+// lock_all once, per-iteration puts + IFlushAll overlapped with the
+// computation — no epoch synchronization packets at all, so it tracks the
+// nonblocking series from the other side of the design space.
+//
 // Each (ranks, series) cell is an independent simulation, so the figure is
 // bit-identical at any -workers count.
 
@@ -85,22 +90,22 @@ func FigScaleRanks(ranks []int, iters int) *ScaleReport {
 	for i, n := range ranks {
 		rows[i] = fmt.Sprintf("%d", n)
 	}
-	cols := make([]string, len(AllSeries))
-	for i, s := range AllSeries {
+	cols := make([]string, len(ScaleSeries))
+	for i, s := range ScaleSeries {
 		cols[i] = s.String()
 	}
 	rep := &ScaleReport{
-		Latency: stats.NewTable("Scale: GATS epoch + overlap completion vs ranks (fat-tree, fixed core)", "us", "ranks", rows, cols),
+		Latency: stats.NewTable("Scale: epoch/flush + overlap completion vs ranks (fat-tree, fixed core)", "us", "ranks", rows, cols),
 		Queued:  stats.NewTable("Scale: fabric link-queue time per iteration", "us", "ranks", rows, cols),
 		Stalls:  stats.NewTable("Scale: link credit-stall episodes per iteration", "", "ranks", rows, cols),
 	}
-	cells := par.Map(len(ranks)*len(AllSeries), func(j int) scaleMeasure {
-		ni, si := j/len(AllSeries), j%len(AllSeries)
-		return scaleCell(ranks[ni], AllSeries[si], iters)
+	cells := par.Map(len(ranks)*len(ScaleSeries), func(j int) scaleMeasure {
+		ni, si := j/len(ScaleSeries), j%len(ScaleSeries)
+		return scaleCell(ranks[ni], ScaleSeries[si], iters)
 	})
 	for ni := range ranks {
-		for si, s := range AllSeries {
-			m := cells[ni*len(AllSeries)+si]
+		for si, s := range ScaleSeries {
+			m := cells[ni*len(ScaleSeries)+si]
 			rep.Latency.Set(rows[ni], s.String(), m.lat)
 			rep.Queued.Set(rows[ni], s.String(), m.queued)
 			rep.Stalls.Set(rows[ni], s.String(), m.stalls)
@@ -152,6 +157,28 @@ func scaleCell(n int, s Series, iters int) scaleMeasure {
 		win := rt.CreateWindow(r, int64(n)*ScaleChunk, core.WinOptions{Mode: s.Mode(), ShapeOnly: true, Info: core.Info{AAER: true}})
 		tg := scaleGroup(n, r.ID, +1)
 		og := scaleGroup(n, r.ID, -1)
+		if s == SeriesFlush {
+			// Epochless idiom: lock_all once for the window's lifetime (one
+			// conditional atomic at the master, whatever n), then per
+			// iteration puts + a window-wide flush overlapped with the
+			// computation. The per-iteration barrier provides the target-side
+			// ordering an exposure epoch would.
+			win.LockAll()
+			for it := 0; it < iters; it++ {
+				r.Barrier()
+				t0 := r.Now()
+				for _, t := range tg {
+					win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
+				}
+				freq := win.IFlushAll()
+				r.Compute(ScaleWork)
+				r.Wait(freq)
+				samples[r.ID] = append(samples[r.ID], r.Now()-t0)
+			}
+			win.UnlockAll()
+			win.Quiesce()
+			return
+		}
 		for it := 0; it < iters; it++ {
 			r.Barrier()
 			t0 := r.Now()

@@ -18,12 +18,14 @@ import (
 // engine on the dedicated fabric stage, congestion counters).
 func renderShardSample(iters int) string {
 	tt, ct := Fig13LU([]int{2, 4}, LUParams{M: 64, FlopNs: 20})
-	out := Fig2LatePost(iters).String() + tt.String() + ct.String()
+	out := Fig2LatePost(iters).String() + FigModes(iters).String() + tt.String() + ct.String()
 	for _, n := range []int{16, 32} {
-		c := scaleCell(n, SeriesNewNB, iters)
-		// %v renders floats at full round-trip precision: the guarantee is
-		// bit-identity, not agreement after table rounding.
-		out += fmt.Sprintf("\nscale,n=%d,lat=%v,queued=%v,stalls=%v", n, c.lat, c.queued, c.stalls)
+		for _, s := range []Series{SeriesNewNB, SeriesFlush} {
+			c := scaleCell(n, s, iters)
+			// %v renders floats at full round-trip precision: the guarantee is
+			// bit-identity, not agreement after table rounding.
+			out += fmt.Sprintf("\nscale,%s,n=%d,lat=%v,queued=%v,stalls=%v", s, n, c.lat, c.queued, c.stalls)
+		}
 	}
 	return out
 }

@@ -44,6 +44,12 @@ func (rt *Runtime) registerDiagnostics() {
 func (e *Engine) dumpState() string {
 	var b strings.Builder
 	for _, w := range e.winList {
+		if w.fm != nil {
+			fm := w.fm
+			fmt.Fprintf(&b, "win %d (mode=%s): liveOps=%d flushes=%d; flush-lock gX=%d gS=%d lX=%t lS=%d held=%d pending=%d\n",
+				w.id, w.mode, len(w.liveOps), len(w.flushes), fm.gX, fm.gS, fm.lX, fm.lS, fm.held(), len(fm.pending))
+			continue
+		}
 		excl, shared, queued := w.agent.holders()
 		fmt.Fprintf(&b, "win %d (mode=%s): %d pending epochs; lock agent excl=%d shared=%d queued=%d\n",
 			w.id, w.mode, len(w.epochs), excl, shared, queued)
@@ -87,6 +93,31 @@ func (w *Window) PeerState(peer int) PeerCounterState {
 // exclusive holder (-1 if none), the shared-holder count and the queue depth.
 func (w *Window) LockAgentState() (exclHolder, sharedCount, queued int) {
 	return w.agent.holders()
+}
+
+// FlushLockState snapshots a flush-mode window's scalable-lock protocol
+// counters: the counters this rank hosts (Global* meaningful on the master
+// rank only) and its origin-side held/in-flight bookkeeping. Zero value on
+// non-flush windows.
+type FlushLockState struct {
+	GlobalX int  // exclusive-lock intents (master-hosted)
+	GlobalS int  // lock_all holders (master-hosted)
+	LocalX  bool // local exclusive holder present
+	LocalS  int  // local shared holders
+	Held    int  // locks this origin currently holds (incl. lock_all)
+	Pending int  // in-flight lock-protocol operations
+}
+
+// FlushState returns this window's flush-mode lock-protocol snapshot.
+func (w *Window) FlushState() FlushLockState {
+	if w.fm == nil {
+		return FlushLockState{}
+	}
+	return FlushLockState{
+		GlobalX: w.fm.gX, GlobalS: w.fm.gS,
+		LocalX: w.fm.lX, LocalS: w.fm.lS,
+		Held: w.fm.held(), Pending: len(w.fm.pending),
+	}
 }
 
 // PendingEpochs returns the number of not-yet-completed epochs.

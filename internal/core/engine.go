@@ -241,6 +241,28 @@ func (e *Engine) nicDeliver(p *fabric.Packet) {
 		w := e.win(p.Arg[0])
 		w.agent.unlock(p.Src)
 
+	case fabric.KindLockAtomic:
+		// foMPI-style conditional atomic on a lock counter this rank hosts
+		// (ModeFlush). Executed right here in NIC context — the hardware-
+		// atomics model: the target CPU is never involved.
+		w := e.win(p.Arg[0])
+		if w.fm == nil {
+			e.raisef("lock atomic from %d on non-flush-mode window %d", p.Src, w.id)
+		}
+		ok := int64(0)
+		if w.fm.applyAtomic(p.Arg[1]) {
+			ok = 1
+		}
+		q := e.rt.world.Net.AllocPacketAt(e.rank.ID)
+		q.Src, q.Dst, q.Kind, q.Size = e.rank.ID, p.Src, fabric.KindLockAtomicResp, ctrlBytes
+		q.Payload = p.Payload
+		q.Arg = [4]int64{p.Arg[0], p.Arg[1], ok, 0}
+		e.rank.Send(q)
+
+	case fabric.KindLockAtomicResp:
+		lo := p.Payload.(*lockOp)
+		lo.advance(p.Arg[1], p.Arg[2] == 1)
+
 	default:
 		e.raisef("unexpected packet kind %d from %d", p.Kind, p.Src)
 	}

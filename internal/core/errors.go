@@ -241,8 +241,14 @@ func (e *Engine) peerDead(peer int) bool {
 
 // abortOnDeadPeer aborts the window's pending epochs if any of them depends
 // on the dead peer. The whole pending queue unwinds — the window's serial
-// activation pipeline cannot skip a wedged epoch.
+// activation pipeline cannot skip a wedged epoch. Flush-mode windows have
+// no epochs to scan; they span every peer by construction (the epochless
+// lock_all idiom), so the whole window poisons at once.
 func (w *Window) abortOnDeadPeer(peer int) {
+	if w.mode == ModeFlush {
+		w.flushAbortPeer(peer)
+		return
+	}
 	for _, ep := range w.epochs {
 		if ep.completed {
 			continue

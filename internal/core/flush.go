@@ -48,8 +48,13 @@ func (w *Window) settleFlushes(o *rmaOp, localEvent bool) {
 
 // requirePassiveEpoch panics unless an open passive-target epoch covers t
 // (t == -1 accepts any passive epoch), mirroring MPI's restriction of the
-// flush family to passive target.
+// flush family to passive target. ModeFlush windows are epochless: the
+// whole window lifetime is one implicit passive-target span, so every
+// flush is legal there.
 func (w *Window) requirePassiveEpoch(t int) {
+	if w.mode == ModeFlush {
+		return
+	}
 	for _, ep := range w.openAccess {
 		if ep.kind != EpochLock && ep.kind != EpochLockAll {
 			continue
@@ -63,8 +68,23 @@ func (w *Window) requirePassiveEpoch(t int) {
 
 // newFlush builds a stamped flush request over the currently incomplete
 // RMA calls in scope.
+//
+// Scope invariant: addOp registers EVERY RMA call in w.liveOps at record
+// time — including ops recorded into a deferred (not-yet-activated) passive
+// epoch that sit unissued in ep.recByTgt. A flush stamped while such an
+// epoch waits for its grant therefore counts those ops and stays pending
+// until they issue and land; only abortEpoch removes ops from liveOps
+// without completing them (and that path fails the flushes too).
 func (w *Window) newFlush(target int, local bool) *mpi.Request {
 	w.rank.ChargeCall()
+	if w.err != nil {
+		// Poisoned window: the abort already failed and cleared w.flushes
+		// and emptied liveOps, so stamping here would fabricate an instantly
+		// "successful" flush over transfers that never happened (or trip the
+		// no-passive-epoch panic if the abort closed the epoch). Fail the
+		// request with the window's error instead.
+		return mpi.NewFailedRequest(w.rank, w.err)
+	}
 	w.requirePassiveEpoch(target)
 	req := mpi.NewRequest(w.rank)
 	f := &flushReq{req: req, target: target, local: local, stamp: w.opAge}
@@ -107,6 +127,9 @@ func (w *Window) IFlushLocalAll() *mpi.Request { return w.newFlush(-1, true) }
 // completion level; vanilla windows first force lazy epochs forward.
 func (w *Window) flushWait(target int, local bool) {
 	w.rank.ChargeCall()
+	if w.err != nil {
+		panic(w.err) // poisoned window: surface the abort, not an epoch panic
+	}
 	w.requirePassiveEpoch(target)
 	if w.mode == ModeVanilla {
 		w.vanillaForceIssue(target)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"repro/internal/mpi"
@@ -206,6 +207,110 @@ func TestIFlushLocalCompletesAtWireDone(t *testing.T) {
 	if localDone >= remoteDone {
 		t.Fatalf("IFlushLocal (%d us) should finish before IFlush (%d us)",
 			localDone/sim.Microsecond, remoteDone/sim.Microsecond)
+	}
+}
+
+// Satellite regression: an IFlush stamped while the surrounding lock epoch
+// is still deferred (its grant delayed by a contending holder) must count
+// the recorded-but-unissued Put and stay pending until the transfer
+// actually lands — not complete against an empty issued-op set.
+func TestIFlushCountsRecordedOpsInDeferredEpoch(t *testing.T) {
+	w, rt := testWorld(t, 3)
+	var flushDoneAt, putDoneAt sim.Time
+	var earlyDone bool
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 1<<20, WinOptions{Mode: ModeNew, ShapeOnly: true})
+		switch r.ID {
+		case 2: // contender: holds the exclusive lock for 500us
+			win.Lock(1, true)
+			r.Compute(500 * sim.Microsecond)
+			win.Unlock(1)
+		case 0:
+			r.Compute(50 * sim.Microsecond) // let rank 2 get the lock first
+			win.ILock(1, true)              // contended: the grant is ~450us away
+			pq := win.RPut(1, 0, nil, 1<<18)
+			pq.OnComplete(func() { putDoneAt = r.Now() })
+			fq := win.IFlush(1) // stamped while the put sits recorded, unissued
+			earlyDone = fq.Done()
+			fq.OnComplete(func() { flushDoneAt = r.Now() })
+			r.Wait(fq)
+			win.Unlock(1)
+		}
+		r.Barrier()
+		win.Quiesce()
+	})
+	if earlyDone {
+		t.Fatal("IFlush completed at creation while its put sat recorded in a deferred epoch")
+	}
+	if flushDoneAt < putDoneAt || putDoneAt == 0 {
+		t.Fatalf("flush done at %dus, before the recorded put landed at %dus",
+			flushDoneAt/sim.Microsecond, putDoneAt/sim.Microsecond)
+	}
+}
+
+// Satellite regression: IFlush on an already-poisoned window (the abort
+// emptied liveOps and nil'd w.flushes) must fail its request with the
+// window's *RMAError — not complete successfully over transfers that never
+// happened, and not raise the unrelated "flush outside a passive-target
+// epoch" panic.
+func TestIFlushOnPoisonedWindowFailsWithAbortError(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	var flushErr error
+	var flushDone bool
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew,
+			EpochTimeout: 100 * sim.Microsecond})
+		if r.ID != 0 {
+			return
+		}
+		win.IStart([]int{1})
+		win.Put(1, 0, make([]byte, 8), 8) // never granted: rank 1 never posts
+		rc := win.IComplete()             // arms the timeout
+		win.ILock(1, true)                // deferred behind the doomed epoch
+		win.Put(1, 8, make([]byte, 8), 8)
+		r.Wait(rc) // timeout fires; abortPending cascades into the lock epoch
+		if win.Err() == nil {
+			t.Error("window not poisoned after the abort")
+		}
+		fq := win.IFlush(1)
+		flushDone = fq.Done()
+		flushErr = fq.Err()
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !flushDone {
+		t.Fatal("IFlush on a poisoned window should complete (with error) immediately")
+	}
+	var rma *RMAError
+	if !errors.As(flushErr, &rma) {
+		t.Fatalf("flush error = %v, want the window's *RMAError", flushErr)
+	}
+}
+
+// Blocking flavor of the poisoned-window satellite: Flush must panic with
+// the window's *RMAError (surfacing through Run as a wrapped error), not
+// hang and not raise the no-passive-epoch panic — even though the abort
+// already removed the lock epoch's ops and failed the pending flushes.
+func TestBlockingFlushOnPoisonedWindowSurfacesAbort(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew,
+			EpochTimeout: 100 * sim.Microsecond})
+		if r.ID != 0 {
+			return
+		}
+		win.IStart([]int{1})
+		win.Put(1, 0, make([]byte, 8), 8) // never granted: rank 1 never posts
+		rc := win.IComplete()
+		win.ILock(1, true) // deferred behind the doomed epoch
+		r.Wait(rc)         // timeout abort cascades; window poisoned
+		win.Flush(1)       // must panic with the abort, not hang
+		t.Error("Flush returned on a poisoned window")
+	})
+	var rma *RMAError
+	if !errors.As(err, &rma) {
+		t.Fatalf("run error = %v, want the window's *RMAError", err)
 	}
 }
 

@@ -12,6 +12,16 @@ const (
 	// wait for all targets to be ready before issuing any transfer.
 	// Nonblocking synchronizations are not available in this mode.
 	ModeVanilla
+	// ModeFlush is the epochless passive-target style of Gerstenberger et
+	// al. (foMPI) and the MPI-3 lock_all+flush idiom: every RMA call issues
+	// eagerly the moment it is made — no epoch queue, no activation, no
+	// grant matching — and completion is driven entirely by the flush
+	// family riding the NIC completion counters. Lock/Unlock/LockAll use
+	// foMPI's scalable global/local protocol (sync_flushmode.go) instead of
+	// the GATS-style queued lock agent; they provide mutual exclusion only
+	// and never gate transfer issue. Epoch synchronizations (fence, GATS,
+	// the I-lock epoch forms) are unavailable in this mode.
+	ModeFlush
 )
 
 // String implements fmt.Stringer.
@@ -21,6 +31,8 @@ func (m Mode) String() string {
 		return "new"
 	case ModeVanilla:
 		return "vanilla"
+	case ModeFlush:
+		return "flush"
 	}
 	return "unknown"
 }

@@ -64,6 +64,15 @@ func (w *Window) addOp(o *rmaOp) {
 		// further communication on it is erroneous. Errors are fatal.
 		panic(ep.err)
 	}
+	if w.mode == ModeFlush {
+		// Epochless: no recording, no grant gating, no conflict extents —
+		// the op goes to the NIC the moment the application calls. The
+		// perpetual flushEp it is attached to is always granted, and its
+		// pending counters never gate anything; completion tracking lives
+		// entirely in w.liveOps and the flush stamps above.
+		w.eng.issue(o)
+		return
+	}
 	if w.chkCfl {
 		w.checkConflict(o)
 	}

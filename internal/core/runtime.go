@@ -93,6 +93,9 @@ func (rt *Runtime) CreateWindow(r *mpi.Rank, size int64, opt WinOptions) *Window
 		w.peers[i] = &peerCounters{}
 	}
 	w.agent = newLockAgent(w)
+	if opt.Mode == ModeFlush {
+		w.initFlushMode()
+	}
 	eng.windows[w.id] = w
 	eng.winList = append(eng.winList, w)
 	r.Barrier()

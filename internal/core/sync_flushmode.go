@@ -1,0 +1,446 @@
+package core
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// ModeFlush: the epochless passive-target design of Gerstenberger et al.
+// (foMPI, "Enabling Highly-Scalable Remote Memory Access Programming with
+// MPI-3 One Sided") and the lock_all+flush idiom of Schuchart/Gracia ("Quo
+// Vadis MPI RMA?").
+//
+// Two pieces replace the epoch machinery:
+//
+//   - a perpetual, always-granted internal epoch (w.flushEp) that every RMA
+//     call attaches to: addOp skips recording entirely and hands the op to
+//     the NIC at call time, so completion is tracked purely by w.liveOps and
+//     the op age stamps — exactly the counters the flush family rides;
+//   - foMPI's scalable global/local lock protocol: one global counter pair
+//     at a master rank (X = exclusive-lock intents, S = lock_all holders)
+//     and one local counter pair at every target (lX = exclusive holder,
+//     lS = shared holders), manipulated with conditional remote atomics
+//     executed in the target's NIC context. A shared Lock(t) is a single
+//     local atomic at t; an exclusive Lock(t) is global-then-local; LockAll
+//     is a single global atomic — no request ever serializes through the
+//     GATS-style queued lock agent.
+//
+// Simplification kept deliberately: a failed conditional atomic retries with
+// deterministic exponential backoff instead of foMPI's add-and-revert
+// sequences; the two-level exclusion structure (exclusive vs lock_all
+// globally, exclusive vs everything per target) is identical. Locks provide
+// mutual exclusion only — they never gate transfer issue (the separate-
+// memory-model relaxation the epochless idiom is built on), so the memory-
+// consistency tool remains the flush family.
+
+// flushMaster is the rank hosting the global lock counters.
+const flushMaster = 0
+
+// Conditional-atomic codes of the lock protocol (fabric packet Arg[1]).
+const (
+	laGlobalAcqX int64 = iota + 1 // X++ iff S == 0 (exclusive intent)
+	laGlobalRelX                  // X--
+	laGlobalAcqS                  // S++ iff X == 0 (lock_all)
+	laGlobalRelS                  // S--
+	laLocalAcqX                   // lX = 1 iff lX == 0 && lS == 0
+	laLocalRelX                   // lX = 0
+	laLocalAcqS                   // lS++ iff lX == 0
+	laLocalRelS                   // lS--
+)
+
+// flushState is one rank's view of the scalable lock protocol: the counters
+// it hosts (local always; global only on flushMaster) plus its origin-side
+// bookkeeping of held locks and in-flight protocol operations.
+type flushState struct {
+	w *Window
+
+	// Hosted counters, manipulated in NIC context by remote atomics.
+	gX, gS int  // global pair (meaningful on flushMaster only)
+	lX     bool // local exclusive holder present
+	lS     int  // local shared holders
+
+	// Origin-side state.
+	heldShared map[int]bool // targets locked shared by this origin
+	heldExcl   map[int]bool // targets locked exclusive by this origin
+	noCheck    map[int]bool // MPI_MODE_NOCHECK pseudo-locks (no protocol)
+	lockAll    bool         // lock_all held
+	pending    map[*lockOp]struct{} // in-flight protocol operations
+}
+
+// initFlushMode installs the flush-mode state on a freshly created window.
+func (w *Window) initFlushMode() {
+	ep := &Epoch{win: w, kind: EpochLockAll, seq: -1, shared: true,
+		noCheck: true, activated: true}
+	ep.ensureAccessMaps(w.n)
+	w.flushEp = ep
+	w.fm = &flushState{
+		w:          w,
+		heldShared: make(map[int]bool),
+		heldExcl:   make(map[int]bool),
+		noCheck:    make(map[int]bool),
+		pending:    make(map[*lockOp]struct{}),
+	}
+}
+
+// lockOp is one origin-side lock-protocol operation (an acquire or release,
+// possibly two-phase). It travels as the payload of the protocol's atomic
+// packets so the response handler finds its continuation without lookup.
+type lockOp struct {
+	fm       *flushState
+	req      *mpi.Request
+	target   int // -1 for lock_all
+	attempt  int // consecutive failed conditional atomics (backoff input)
+	finished bool
+}
+
+// atomDst resolves the rank hosting the counter an atomic code addresses.
+func (lo *lockOp) atomDst(code int64) int {
+	switch code {
+	case laGlobalAcqX, laGlobalRelX, laGlobalAcqS, laGlobalRelS:
+		return flushMaster
+	}
+	return lo.target
+}
+
+// sendAtom issues one conditional atomic. Self-hosted counters are applied
+// inline (the precedent of sendLockReq); remote ones ride a KindLockAtomic
+// packet and come back as KindLockAtomicResp.
+func (fm *flushState) sendAtom(lo *lockOp, code int64) {
+	w := fm.w
+	me := w.rank.ID
+	dst := lo.atomDst(code)
+	if dst == me {
+		lo.advance(code, fm.applyAtomic(code))
+		return
+	}
+	p := w.eng.rt.world.Net.AllocPacketAt(me)
+	p.Src, p.Dst, p.Kind, p.Size = me, dst, fabric.KindLockAtomic, ctrlBytes
+	p.Payload = lo
+	p.Arg = [4]int64{w.id, code, 0, 0}
+	w.rank.Send(p)
+}
+
+// applyAtomic executes one atomic against the counters THIS rank hosts. It
+// runs in NIC context on packet delivery (inherently serialized per rank),
+// or inline for self-targeted atomics. Conditional acquires report success;
+// releases always succeed and police underflow.
+func (fm *flushState) applyAtomic(code int64) bool {
+	switch code {
+	case laGlobalAcqX:
+		if fm.gS > 0 {
+			return false
+		}
+		fm.gX++
+		return true
+	case laGlobalRelX:
+		if fm.gX <= 0 {
+			fm.w.raisef("flush-lock protocol released a global exclusive intent it never held")
+		}
+		fm.gX--
+		return true
+	case laGlobalAcqS:
+		if fm.gX > 0 {
+			return false
+		}
+		fm.gS++
+		return true
+	case laGlobalRelS:
+		if fm.gS <= 0 {
+			fm.w.raisef("flush-lock protocol released a lock_all it never held")
+		}
+		fm.gS--
+		return true
+	case laLocalAcqX:
+		if fm.lX || fm.lS > 0 {
+			return false
+		}
+		fm.lX = true
+		return true
+	case laLocalRelX:
+		if !fm.lX {
+			fm.w.raisef("flush-lock protocol released a local exclusive it never held")
+		}
+		fm.lX = false
+		return true
+	case laLocalAcqS:
+		if fm.lX {
+			return false
+		}
+		fm.lS++
+		return true
+	case laLocalRelS:
+		if fm.lS <= 0 {
+			fm.w.raisef("flush-lock protocol released a local shared it never held")
+		}
+		fm.lS--
+		return true
+	}
+	fm.w.raisef("unknown flush-lock atomic code %d", code)
+	return false
+}
+
+// backoff is the deterministic retry delay after attempt consecutive failed
+// conditional atomics: the fabric's base latency, doubled up to 64x.
+func (fm *flushState) backoff(attempt int) sim.Time {
+	base := fm.w.eng.rt.world.Net.Cfg.Alpha
+	if base <= 0 {
+		base = sim.Microsecond
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	return base << uint(attempt)
+}
+
+// advance is the lockOp state machine, driven by atomic outcomes. It runs in
+// origin NIC context (remote responses) or inline (self-hosted counters).
+func (lo *lockOp) advance(code int64, ok bool) {
+	fm := lo.fm
+	if lo.finished {
+		return // aborted underneath (failPending) — drop the stale response
+	}
+	if !ok {
+		lo.retry(code)
+		return
+	}
+	lo.attempt = 0
+	switch code {
+	case laGlobalAcqX:
+		// Exclusive phase 2: the per-target counter.
+		fm.sendAtom(lo, laLocalAcqX)
+	case laLocalAcqX:
+		fm.heldExcl[lo.target] = true
+		lo.finish()
+	case laLocalAcqS:
+		fm.heldShared[lo.target] = true
+		lo.finish()
+	case laGlobalAcqS:
+		fm.lockAll = true
+		lo.finish()
+	case laLocalRelX:
+		// Exclusive release phase 2: drop the global intent.
+		fm.sendAtom(lo, laGlobalRelX)
+	case laGlobalRelX, laLocalRelS, laGlobalRelS:
+		lo.finish()
+	}
+}
+
+// retry reissues a failed conditional atomic after the backoff delay.
+func (lo *lockOp) retry(code int64) {
+	fm := lo.fm
+	d := fm.backoff(lo.attempt)
+	lo.attempt++
+	fm.w.rank.Kernel().After(d, func() {
+		if lo.finished || fm.w.err != nil {
+			return
+		}
+		fm.sendAtom(lo, code)
+	})
+}
+
+// finish completes the operation's request successfully.
+func (lo *lockOp) finish() {
+	lo.finished = true
+	delete(lo.fm.pending, lo)
+	lo.req.Complete()
+	lo.fm.w.rank.Wake.Fire()
+}
+
+// fail completes the operation's request with err.
+func (lo *lockOp) fail(err error) {
+	if lo.finished {
+		return
+	}
+	lo.finished = true
+	delete(lo.fm.pending, lo)
+	lo.req.Fail(err)
+}
+
+// --- Origin-side API (dispatched to from sync_lock.go) ------------------ //
+
+// acquire starts a lock acquisition toward target; the returned request
+// completes when the lock is held. Shared locks are one local atomic at the
+// target; exclusive locks are global-then-local.
+func (fm *flushState) acquire(target int, exclusive bool) *mpi.Request {
+	w := fm.w
+	w.checkLive()
+	w.rank.ChargeCall()
+	if w.err != nil {
+		return mpi.NewFailedRequest(w.rank, w.err)
+	}
+	if target < 0 || target >= w.n {
+		w.raisef("lock target %d out of range (n=%d)", target, w.n)
+	}
+	if fm.heldShared[target] || fm.heldExcl[target] || fm.noCheck[target] {
+		w.raisef("flush mode: target %d is already locked by this origin", target)
+	}
+	lo := &lockOp{fm: fm, req: mpi.NewRequest(w.rank), target: target}
+	fm.pending[lo] = struct{}{}
+	if exclusive {
+		fm.sendAtom(lo, laGlobalAcqX)
+	} else {
+		fm.sendAtom(lo, laLocalAcqS)
+	}
+	return lo.req
+}
+
+// acquireNoCheck installs an MPI_MODE_NOCHECK pseudo-lock: the caller vouches
+// that no conflicting lock exists, so no protocol traffic is generated.
+func (fm *flushState) acquireNoCheck(target int) *mpi.Request {
+	w := fm.w
+	w.checkLive()
+	w.rank.ChargeCall()
+	if w.err != nil {
+		return mpi.NewFailedRequest(w.rank, w.err)
+	}
+	if target < 0 || target >= w.n {
+		w.raisef("lock target %d out of range (n=%d)", target, w.n)
+	}
+	if fm.heldShared[target] || fm.heldExcl[target] || fm.noCheck[target] {
+		w.raisef("flush mode: target %d is already locked by this origin", target)
+	}
+	fm.noCheck[target] = true
+	return mpi.NewCompletedRequest(w.rank)
+}
+
+// release starts a lock release toward target. MPI's unlock implies remote
+// completion of the epochless "epoch" toward the target, so the release
+// atomics are chained behind an internal IFlush(target).
+func (fm *flushState) release(target int) *mpi.Request {
+	w := fm.w
+	w.checkLive()
+	w.rank.ChargeCall()
+	if w.err != nil {
+		return mpi.NewFailedRequest(w.rank, w.err)
+	}
+	if fm.noCheck[target] {
+		delete(fm.noCheck, target)
+		return mpi.NewCompletedRequest(w.rank)
+	}
+	excl := fm.heldExcl[target]
+	if !excl && !fm.heldShared[target] {
+		w.raisef("flush mode: unlocking target %d without holding its lock", target)
+	}
+	// The origin's hold ends at the unlock call (a fresh Lock on the same
+	// target is legal right away — its conditional atomics simply retry
+	// until the in-flight release lands at the counters).
+	delete(fm.heldExcl, target)
+	delete(fm.heldShared, target)
+	lo := &lockOp{fm: fm, req: mpi.NewRequest(w.rank), target: target}
+	fm.pending[lo] = struct{}{}
+	fq := w.IFlush(target)
+	fq.OnComplete(func() {
+		if err := fq.Err(); err != nil {
+			lo.fail(err)
+			return
+		}
+		if lo.finished {
+			return
+		}
+		if excl {
+			fm.sendAtom(lo, laLocalRelX)
+		} else {
+			fm.sendAtom(lo, laLocalRelS)
+		}
+	})
+	return lo.req
+}
+
+// acquireAll starts a lock_all acquisition: one conditional atomic on the
+// master's global S counter, whatever the window size — foMPI's scalability
+// argument in one line.
+func (fm *flushState) acquireAll() *mpi.Request {
+	w := fm.w
+	w.checkLive()
+	w.rank.ChargeCall()
+	if w.err != nil {
+		return mpi.NewFailedRequest(w.rank, w.err)
+	}
+	if fm.lockAll {
+		w.raisef("flush mode: lock_all is already held")
+	}
+	lo := &lockOp{fm: fm, req: mpi.NewRequest(w.rank), target: -1}
+	fm.pending[lo] = struct{}{}
+	fm.sendAtom(lo, laGlobalAcqS)
+	return lo.req
+}
+
+// releaseAll releases lock_all behind an internal window-wide flush.
+func (fm *flushState) releaseAll() *mpi.Request {
+	w := fm.w
+	w.checkLive()
+	w.rank.ChargeCall()
+	if w.err != nil {
+		return mpi.NewFailedRequest(w.rank, w.err)
+	}
+	if !fm.lockAll {
+		w.raisef("flush mode: unlock_all without holding lock_all")
+	}
+	// As with release: the hold ends at the unlock_all call.
+	fm.lockAll = false
+	lo := &lockOp{fm: fm, req: mpi.NewRequest(w.rank), target: -1}
+	fm.pending[lo] = struct{}{}
+	fq := w.IFlushAll()
+	fq.OnComplete(func() {
+		if err := fq.Err(); err != nil {
+			lo.fail(err)
+			return
+		}
+		if lo.finished {
+			return
+		}
+		fm.sendAtom(lo, laGlobalRelS)
+	})
+	return lo.req
+}
+
+// held counts the locks this origin currently holds (diagnostics/fuzz).
+func (fm *flushState) held() int {
+	n := len(fm.heldShared) + len(fm.heldExcl) + len(fm.noCheck)
+	if fm.lockAll {
+		n++
+	}
+	return n
+}
+
+// idle reports that no lock-protocol operation is in flight.
+func (fm *flushState) idle() bool { return len(fm.pending) == 0 }
+
+// failPending fails every in-flight lock-protocol operation (window abort).
+func (fm *flushState) failPending(err *RMAError) {
+	for lo := range fm.pending {
+		lo.finished = true
+		lo.req.Fail(err)
+	}
+	fm.pending = make(map[*lockOp]struct{})
+}
+
+// flushAbortPeer poisons a flush-mode window when the fabric declares peer
+// unreachable: every live op's request fails, outstanding flushes fail, and
+// in-flight lock operations fail — so blocked Flush/FlushAll callers panic
+// with ErrRankUnreachable instead of waiting on transfers that will never
+// complete. The perpetual epoch records the error too, making subsequent
+// RMA calls raise it (addOp's ep.err check).
+func (w *Window) flushAbortPeer(peer int) {
+	if w.err != nil {
+		return // already poisoned; first abort did the unwinding
+	}
+	err := w.newRMAError(ErrRankUnreachable, peer,
+		"flush-mode window depends on unreachable peer")
+	w.err = err
+	w.flushEp.err = err
+	w.fstats.EpochsAborted++
+	for o := range w.liveOps {
+		if o.req != nil {
+			o.req.Fail(err)
+		}
+		delete(w.liveOps, o)
+	}
+	for _, f := range w.flushes {
+		f.req.Fail(err)
+	}
+	w.flushes = nil
+	w.fm.failPending(err)
+	w.rank.Wake.Fire()
+}

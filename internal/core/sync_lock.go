@@ -106,6 +106,14 @@ func (w *Window) ILock(target int, exclusive bool) *mpi.Request {
 // the lock-acquisition protocol entirely — transfers may start at once
 // and no unlock packet is sent.
 func (w *Window) ILockAssert(target int, exclusive, noCheck bool) *mpi.Request {
+	if w.mode == ModeFlush {
+		// foMPI protocol: no epoch is opened; the request completes when the
+		// lock is held (shared: one local atomic; exclusive: global+local).
+		if noCheck {
+			return w.fm.acquireNoCheck(target)
+		}
+		return w.fm.acquire(target, exclusive)
+	}
 	if w.mode == ModeVanilla {
 		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
@@ -126,6 +134,10 @@ func (w *Window) Lock(target int, exclusive bool) {
 		w.vanillaLock(target, exclusive)
 		return
 	}
+	if w.mode == ModeFlush {
+		w.waitSync(w.fm.acquire(target, exclusive))
+		return
+	}
 	w.rank.Wait(w.ILock(target, exclusive))
 }
 
@@ -133,6 +145,11 @@ func (w *Window) Lock(target int, exclusive bool) {
 // returns at once, and the epoch (lock release included) completes inside
 // the progress engine; completion is detected through the returned request.
 func (w *Window) IUnlock(target int) *mpi.Request {
+	if w.mode == ModeFlush {
+		// Release rides behind an internal IFlush(target): MPI's unlock
+		// implies remote completion toward the target.
+		return w.fm.release(target)
+	}
 	if w.mode == ModeVanilla {
 		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
@@ -151,6 +168,11 @@ func (w *Window) Unlock(target int) {
 
 // ILockAll opens a shared lock on every rank of the window, nonblockingly.
 func (w *Window) ILockAll() *mpi.Request {
+	if w.mode == ModeFlush {
+		// One conditional atomic on the master's global counter, whatever
+		// the window size — the foMPI scalability argument.
+		return w.fm.acquireAll()
+	}
 	if w.mode == ModeVanilla {
 		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
@@ -168,11 +190,18 @@ func (w *Window) LockAll() {
 		w.vanillaLockAll()
 		return
 	}
+	if w.mode == ModeFlush {
+		w.waitSync(w.fm.acquireAll())
+		return
+	}
 	w.rank.Wait(w.ILockAll())
 }
 
 // IUnlockAll closes the lock-all epoch nonblockingly.
 func (w *Window) IUnlockAll() *mpi.Request {
+	if w.mode == ModeFlush {
+		return w.fm.releaseAll()
+	}
 	if w.mode == ModeVanilla {
 		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}

@@ -31,6 +31,12 @@ type Window struct {
 	// internode requesters, engine context for intranode ones).
 	agent *lockAgent
 
+	// Flush-mode (epochless) state: the perpetual always-granted epoch ops
+	// attach to, and the foMPI-style scalable lock protocol. Both nil unless
+	// mode == ModeFlush (sync_flushmode.go).
+	flushEp *Epoch
+	fm      *flushState
+
 	// Flush support: monotonic op ages, the set of not-yet-remotely-
 	// complete ops, and outstanding flush requests.
 	opAge   int64
@@ -83,8 +89,13 @@ func (w *Window) checkRange(target int, off, size int64) {
 }
 
 // currentAccessEpoch returns the newest application-open access epoch
-// covering target t; RMA communication calls must happen inside one.
+// covering target t; RMA communication calls must happen inside one. Flush-
+// mode windows are epochless: the whole window lifetime is one implicit
+// passive span, represented by the perpetual flushEp.
 func (w *Window) currentAccessEpoch(t int) *Epoch {
+	if w.mode == ModeFlush {
+		return w.flushEp
+	}
 	for i := len(w.openAccess) - 1; i >= 0; i-- {
 		if w.openAccess[i].coversTarget(t) {
 			return w.openAccess[i]
@@ -109,6 +120,9 @@ func (w *Window) removeOpenAccess(ep *Epoch) {
 // and triggers an activation scan (the epoch may activate immediately).
 func (w *Window) pushEpoch(ep *Epoch) {
 	w.checkLive()
+	if w.mode == ModeFlush {
+		w.raisef("%s synchronization is unavailable in flush mode (epochless window)", ep.kind)
+	}
 	if w.err != nil {
 		// Errors are fatal for the window: once an epoch aborted, the serial
 		// pipeline is poisoned and new epochs would hang behind it.
@@ -298,8 +312,17 @@ func (w *Window) grantTo(ep *Epoch, o int) {
 
 // Quiesce blocks until every epoch of this window has completed internally.
 // Useful before tearing a benchmark down; it plays the role of the final
-// MPI_WIN_FREE synchronization.
+// MPI_WIN_FREE synchronization. Flush-mode windows have no epochs; they
+// quiesce when every issued op has remotely completed and no lock-protocol
+// operation is in flight (an aborted window is quiescent by definition —
+// the abort already unwound everything).
 func (w *Window) Quiesce() {
+	if w.mode == ModeFlush {
+		w.rank.WaitUntil("win-quiesce", func() bool {
+			return w.err != nil || (len(w.liveOps) == 0 && w.fm.idle())
+		})
+		return
+	}
 	w.rank.WaitUntil("win-quiesce", func() bool {
 		w.pruneCompleted()
 		return len(w.epochs) == 0

@@ -33,6 +33,10 @@ const (
 	KindLockGrant  // lock granted notification
 	KindUnlock     // lock release (ordered after the epoch's RMA)
 	KindFlushAck   // remote-completion acknowledgement for flushes
+	// foMPI-style scalable lock protocol (core.ModeFlush): conditional
+	// atomic on a remote lock counter, executed in the target's NIC context.
+	KindLockAtomic     // conditional fetch-and-op request on a lock counter
+	KindLockAtomicResp // success/failure response
 	// Reliability sublayer (internal to the fabric; never reaches handlers).
 	KindAck // go-back-N cumulative acknowledgement
 

@@ -49,6 +49,20 @@ func Verify(p *Program, mode core.Mode, res *RunResult) []string {
 				bad("rank %d win %d: lock agent not clean at end: excl=%d shared=%d queued=%d",
 					r, wi, excl, shared, queued)
 			}
+			if mode == core.ModeFlush {
+				// The scalable-lock protocol must be fully unwound: every
+				// hosted counter back to zero, nothing held, nothing in
+				// flight. (Flush mode also opens no epochs at all, which the
+				// generic checks above pin as 0 == 0.)
+				fs := win.FlushState()
+				if fs.GlobalX != 0 || fs.GlobalS != 0 || fs.LocalX || fs.LocalS != 0 ||
+					fs.Held != 0 || fs.Pending != 0 {
+					bad("rank %d win %d: flush-lock protocol not clean at end: %+v", r, wi, fs)
+				}
+				if s.EpochsOpened != 0 {
+					bad("rank %d win %d: flush-mode window opened %d epochs", r, wi, s.EpochsOpened)
+				}
+			}
 		}
 	}
 	for wi := range p.Windows {

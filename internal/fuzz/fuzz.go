@@ -94,6 +94,9 @@ func CheckSeedTopo(seed uint64, mode core.Mode, lossy bool, kind topo.Kind) *Fai
 // CheckSeedShards is CheckSeedTopo on a sharded kernel (see Options.Shards).
 func CheckSeedShards(seed uint64, mode core.Mode, lossy bool, kind topo.Kind, shards int) *Failure {
 	p := Generate(seed)
+	if mode == core.ModeFlush {
+		p = GenerateFlush(seed) // epochless programs: lock/lock_all/flush only
+	}
 	var fp *fabric.FaultProfile
 	if lossy {
 		prof := LossyProfile(seed)

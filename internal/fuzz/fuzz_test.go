@@ -139,3 +139,74 @@ func TestEventBudgetHeadroom(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateFlushDeterministic mirrors TestGenerateDeterministic for the
+// flush-mode generator, and pins that it only emits round kinds the
+// epochless design supports.
+func TestGenerateFlushDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		a, b := GenerateFlush(seed), GenerateFlush(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: GenerateFlush is not deterministic", seed)
+		}
+		for _, ws := range a.Windows {
+			if !ws.Passive {
+				t.Fatalf("seed %d: flush program generated an active-family window", seed)
+			}
+		}
+		for i, rd := range a.Rounds {
+			if rd.Kind != RLock && rd.Kind != RLockAll && rd.Kind != RFlush {
+				t.Fatalf("seed %d round %d: kind %d not supported by flush mode", seed, i, rd.Kind)
+			}
+		}
+	}
+}
+
+// TestFlushCampaign runs the ModeFlush arm: epochless lock/lock_all/flush
+// programs against the sequential oracle plus the flush-specific end-state
+// checks (scalable-lock counters all zero, no epochs ever opened).
+func TestFlushCampaign(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 20
+	}
+	failures := Campaign(Options{N: n, Seed: 1, Modes: []core.Mode{core.ModeFlush}})
+	for _, f := range failures {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestFlushLossyCampaign gives the flush family the lossy adversary: the
+// go-back-N sublayer repairs every drop/dup/corruption, so flush counters
+// must stay dup-idempotent and the oracle exact.
+func TestFlushLossyCampaign(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	failures := Campaign(Options{N: n, Seed: 500, Lossy: true, Modes: []core.Mode{core.ModeFlush}})
+	for _, f := range failures {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestFlushShardIdentity: a flush-mode run on the sharded kernel must be
+// bit-identical to serial — same kernel event count, same trace length,
+// same final memories.
+func TestFlushShardIdentity(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := GenerateFlush(seed)
+		a := ExecuteShards(p, core.ModeFlush, nil, topo.Crossbar, 0)
+		b := ExecuteShards(p, core.ModeFlush, nil, topo.Crossbar, 4)
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("seed %d: %v / %v", seed, a.Err, b.Err)
+		}
+		if a.KernelEvents != b.KernelEvents {
+			t.Errorf("seed %d: kernel events diverge serial=%d sharded=%d",
+				seed, a.KernelEvents, b.KernelEvents)
+		}
+		if !reflect.DeepEqual(a.Mems, b.Mems) {
+			t.Errorf("seed %d: final memories diverge across shard counts", seed)
+		}
+	}
+}

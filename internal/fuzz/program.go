@@ -5,6 +5,12 @@
 // algebra, lock-agent safety, serial-activation legality and request
 // completion. Every failure is reproducible from its seed alone.
 //
+// A third campaign arm targets the epochless flush design (core.ModeFlush):
+// GenerateFlush derives lock/lock_all/flush-burst programs under the same
+// memory-effect discipline, so the identical oracle applies, plus a
+// flush-specific end-state check — the scalable-lock protocol counters must
+// all return to zero.
+//
 // Programs are deadlock-free by construction:
 //
 //   - rounds are globally ordered: every rank walks the same round list, so
@@ -63,12 +69,15 @@ type OpSpec struct {
 // RoundKind enumerates the synchronization families a round exercises.
 type RoundKind int
 
-// Round kinds.
+// Round kinds. RFlush appears only in flush-mode programs (GenerateFlush):
+// an epochless burst — members issue operations with no lock at all and
+// reconcile with a window-wide flush, the idiom ModeFlush exists for.
 const (
 	RFence RoundKind = iota
 	RGATS
 	RLock
 	RLockAll
+	RFlush
 )
 
 // Round is one globally ordered conversation step on a single window.
@@ -186,6 +195,96 @@ func Generate(seed uint64) *Program {
 		p.Rounds = append(p.Rounds, genRound(rng, p, casUsed))
 	}
 	return p
+}
+
+// GenerateFlush derives a flush-mode (core.ModeFlush) program from seed.
+// Same shape discipline as Generate, restricted to what the epochless design
+// supports: every window is passive-family and rounds draw from lock,
+// lock_all and bare flush bursts (RFlush) — no fence or GATS, which flush
+// mode rejects by construction. The memory-effect discipline is unchanged,
+// so the same sequential oracle (Expected) applies: flush-mode locks provide
+// mutual exclusion only and never order the generated disjoint/commutative
+// writes.
+//
+// Deadlock freedom holds by the same arguments as Generate: a rank holds at
+// most one lock per round and acquires it before blocking on anything else,
+// and in-flight releases complete autonomously (NIC-driven), so a
+// back-to-back re-acquire spins briefly rather than deadlocking.
+func GenerateFlush(seed uint64) *Program {
+	rng := sim.NewRNG(seed)
+	n := 2 + rng.Intn(4) // 2..5 ranks
+	ppn := []int{1, 2, n}[rng.Intn(3)]
+	p := &Program{Seed: seed, NRanks: n, ProcsPerNode: ppn}
+
+	nw := 1 + rng.Intn(2)
+	for i := 0; i < nw; i++ {
+		ws := genWindow(rng)
+		ws.Passive = true
+		p.Windows = append(p.Windows, ws)
+	}
+	casUsed := make([][]int, nw)
+	for i := range casUsed {
+		casUsed[i] = make([]int, n)
+	}
+	rounds := 3 + rng.Intn(8)
+	for i := 0; i < rounds; i++ {
+		p.Rounds = append(p.Rounds, genFlushRound(rng, p, casUsed))
+	}
+	return p
+}
+
+// genFlushRound draws one flush-mode round: lock (40%), lock_all (30%) or a
+// bare epochless flush burst (30%).
+func genFlushRound(rng *sim.RNG, p *Program, casUsed [][]int) Round {
+	n := p.NRanks
+	rd := Round{
+		Win:         rng.Intn(len(p.Windows)),
+		Nonblocking: make([]bool, n),
+		Compute:     make([]int64, n),
+	}
+	for r := 0; r < n; r++ {
+		rd.Nonblocking[r] = rng.Intn(2) == 0
+		rd.Compute[r] = int64(rng.Intn(4001)) // 0..4 us
+	}
+	switch roll := rng.Intn(100); {
+	case roll < 40:
+		rd.Kind = RLock
+		rd.LockTarget = make([]int, n)
+		rd.LockShared = make([]bool, n)
+		rd.Ops = make([][]OpSpec, n)
+		for r := 0; r < n; r++ {
+			rd.LockTarget[r] = -1
+			if rng.Intn(100) < 70 {
+				t := rng.Intn(n)
+				rd.LockTarget[r] = t
+				rd.LockShared[r] = rng.Intn(2) == 0
+				rd.Ops[r] = genOps(rng, p, rd.Win, r, []int{t}, casUsed)
+			}
+		}
+	case roll < 70:
+		rd.Kind = RLockAll
+		rd.Member = make([]bool, n)
+		rd.Ops = make([][]OpSpec, n)
+		all := allRanks(n)
+		for r := 0; r < n; r++ {
+			if rng.Intn(2) == 0 {
+				rd.Member[r] = true
+				rd.Ops[r] = genOps(rng, p, rd.Win, r, all, casUsed)
+			}
+		}
+	default:
+		rd.Kind = RFlush
+		rd.Member = make([]bool, n)
+		rd.Ops = make([][]OpSpec, n)
+		all := allRanks(n)
+		for r := 0; r < n; r++ {
+			if rng.Intn(100) < 70 {
+				rd.Member[r] = true
+				rd.Ops[r] = genOps(rng, p, rd.Win, r, all, casUsed)
+			}
+		}
+	}
+	return rd
 }
 
 func genWindow(rng *sim.RNG) WindowSpec {

@@ -190,6 +190,10 @@ func execRound(p *Program, rd Round, r *mpi.Rank, wins []*core.Window, mode core
 		r.Compute(sim.Time(d))
 	}
 	win := wins[rd.Win]
+	if mode == core.ModeFlush {
+		execFlushRound(p, rd, r, win, pending)
+		return
+	}
 	nb := rd.Nonblocking[me] && mode == core.ModeNew
 
 	switch rd.Kind {
@@ -259,6 +263,57 @@ func execRound(p *Program, rd Round, r *mpi.Rank, wins []*core.Window, mode core
 			doOps(p, rd.Win, me, rd.Ops[me], win)
 			win.UnlockAll()
 		}
+	}
+}
+
+// execFlushRound runs one round of a GenerateFlush program under ModeFlush.
+// Locks are pure mutual exclusion (never gating transfer issue), so the
+// acquire is always awaited before ops — required anyway for the unlock's
+// held-lock check — and completion comes from the flush family: either an
+// explicit flush before unlock (nonblocking arm) or the flush the blocking
+// unlock implies.
+func execFlushRound(p *Program, rd Round, r *mpi.Rank, win *core.Window, pending *[]*mpi.Request) {
+	me := r.ID
+	nb := rd.Nonblocking[me]
+	switch rd.Kind {
+	case RLock:
+		t := rd.LockTarget[me]
+		if t < 0 {
+			return
+		}
+		r.Wait(win.ILock(t, !rd.LockShared[me]))
+		doOps(p, rd.Win, me, rd.Ops[me], win)
+		if nb {
+			*pending = append(*pending, win.IFlush(t), win.IUnlock(t))
+		} else {
+			win.Flush(t)
+			win.Unlock(t)
+		}
+	case RLockAll:
+		if !rd.Member[me] {
+			return
+		}
+		r.Wait(win.ILockAll())
+		doOps(p, rd.Win, me, rd.Ops[me], win)
+		if nb {
+			*pending = append(*pending, win.IUnlockAll())
+		} else {
+			win.FlushAll()
+			win.UnlockAll()
+		}
+	case RFlush:
+		// The epochless idiom: no lock at all — issue, then flush.
+		if !rd.Member[me] {
+			return
+		}
+		doOps(p, rd.Win, me, rd.Ops[me], win)
+		if nb {
+			*pending = append(*pending, win.IFlushAll())
+		} else {
+			win.FlushAll()
+		}
+	default:
+		panic(fmt.Sprintf("fuzz: round kind %d in a flush-mode program", rd.Kind))
 	}
 }
 

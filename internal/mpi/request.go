@@ -24,6 +24,14 @@ func NewRequest(r *Rank) *Request { return &Request{rank: r} }
 // request object that is flagged as completed at creation time".
 func NewCompletedRequest(r *Rank) *Request { return &Request{rank: r, done: true} }
 
+// NewFailedRequest creates a request already completed unsuccessfully with
+// err as its cause. The RMA layer returns these for nonblocking calls made
+// on an already-poisoned (aborted) window, so the caller's Wait/Test
+// observes the window's error instead of a hang or an unrelated panic.
+func NewFailedRequest(r *Rank, err error) *Request {
+	return &Request{rank: r, done: true, err: err}
+}
+
 // Done reports completion without driving progress (use Rank.Test to poll).
 func (q *Request) Done() bool { return q == nil || q.done }
 

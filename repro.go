@@ -45,7 +45,7 @@ type (
 	Window = core.Window
 	// WinOptions configures CreateWindow.
 	WinOptions = core.WinOptions
-	// Mode selects the RMA stack (ModeNew or ModeVanilla).
+	// Mode selects the RMA stack (ModeNew, ModeVanilla or ModeFlush).
 	Mode = core.Mode
 	// Info carries the progress-engine reorder flags.
 	Info = core.Info
@@ -71,6 +71,7 @@ type (
 const (
 	ModeNew     = core.ModeNew
 	ModeVanilla = core.ModeVanilla
+	ModeFlush   = core.ModeFlush
 
 	AssertNone      = core.AssertNone
 	AssertNoPrecede = core.AssertNoPrecede
