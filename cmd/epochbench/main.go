@@ -37,7 +37,7 @@ type experiment struct {
 
 // deepExperiments only run when named explicitly with -fig — they are too
 // expensive for the default everything run.
-var deepExperiments = map[string]bool{"scale1k": true}
+var deepExperiments = map[string]bool{"scale1k": true, "scale4k": true, "scale16k": true, "scale64k": true}
 
 var experiments = []experiment{
 	{"2", "paper Fig 2", "Late Post: GATS latency when one target posts 1000us late",
@@ -68,6 +68,12 @@ var experiments = []experiment{
 		func(n int) fmt.Stringer { return bench.FigScale(n) }},
 	{"scale1k", "repo extension", "Scaling, deep point: the 1024-rank cell (run with -shards to make it cheap)",
 		func(n int) fmt.Stringer { return bench.FigScaleRanks([]int{1024}, n) }},
+	{"scale4k", "repo extension", "Scaling, deep point: the 4096-rank cell (task-mode ranks, no goroutine stacks)",
+		func(n int) fmt.Stringer { return bench.FigScaleRanks([]int{4096}, n) }},
+	{"scale16k", "repo extension", "Scaling, deep point: the 16384-rank cell (task-mode ranks; the CI smoke point)",
+		func(n int) fmt.Stringer { return bench.FigScaleRanks([]int{16384}, n) }},
+	{"scale64k", "repo extension", "Scaling, deep point: the 65536-rank cell in one process (use -shards; takes minutes)",
+		func(n int) fmt.Stringer { return bench.FigScaleRanks([]int{65536}, n) }},
 }
 
 func main() {

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -67,6 +69,8 @@ func main() {
 	trajectory := flag.String("trajectory", "results/BENCH_trajectory.json", "append this run to the history in `file` (empty to disable)")
 	scale := flag.Bool("scale", false, "also measure the 512-rank scale-figure speedup, serial vs -shards kernels")
 	scaleRanks := flag.Int("scale-ranks", 512, "rank count for the -scale measurement (power of two)")
+	scaleCurve := flag.String("scale-curve", "", "comma-separated rank counts (e.g. 1024,4096,16384) for the task-mode memory/throughput curve")
+	maxBytesPerRank := flag.Float64("max-bytes-per-rank", 0, "fail if any -scale-curve point retains more heap bytes per rank (0 disables)")
 	pf := bench.RegisterFlags()
 	flag.Parse()
 	stop := pf.Start()
@@ -80,6 +84,17 @@ func main() {
 		cur.MeasureScaleSpeedup(*scaleRanks, 2, shards)
 		fmt.Printf("perfgate: scale %d ranks: serial %.0f ms, %d shards %.0f ms, speedup %.2fx\n",
 			*scaleRanks, cur.ScaleSerialMs, shards, cur.ScaleShardedMs, cur.ScaleSpeedup)
+	}
+	if *scaleCurve != "" {
+		ranks, err := parseRanks(*scaleCurve)
+		if err != nil {
+			fatal(stop, "perfgate: -scale-curve: %v", err)
+		}
+		cur.MeasureScaleCurve(ranks, 1)
+		for _, pt := range cur.ScaleCurve {
+			fmt.Printf("perfgate: curve %6d ranks: %8.0f bytes/rank, %11.0f events/sec, %8.0f ms\n",
+				pt.Ranks, pt.BytesPerRank, pt.EventsPerSec, pt.Ms)
+		}
 	}
 	enc, err := json.MarshalIndent(cur, "", "  ")
 	if err != nil {
@@ -132,6 +147,8 @@ func main() {
 		}
 		check("kernel events/sec", base.KernelEventsPerSec, cur.KernelEventsPerSec)
 		check("fabric packets/sec", base.FabricPacketsPerSec, cur.FabricPacketsPerSec)
+		check("handoff ops/sec", base.HandoffOpsPerSec, cur.HandoffOpsPerSec)
+		check("task-step ops/sec", base.TaskStepOpsPerSec, cur.TaskStepOpsPerSec)
 		budget := func(name string, v float64) {
 			if v > 0 {
 				fmt.Printf("perfgate: %-22s %.3f allocs, want 0 BUDGET-BROKEN\n", name, v)
@@ -140,12 +157,34 @@ func main() {
 		}
 		budget("kernel allocs/event", cur.KernelAllocsPerEvent)
 		budget("fabric allocs/packet", cur.FabricAllocsPerPacket)
+		budget("task-step allocs/op", cur.TaskStepAllocsPerOp)
 		if failed {
 			fatal(stop, "perfgate: FAIL (tolerance %.0f%%)", *maxReg*100)
 		}
 		fmt.Println("perfgate: PASS")
 	}
+	if *maxBytesPerRank > 0 {
+		for _, pt := range cur.ScaleCurve {
+			if pt.BytesPerRank > *maxBytesPerRank {
+				fatal(stop, "perfgate: FAIL: %d ranks retain %.0f bytes/rank, budget %.0f",
+					pt.Ranks, pt.BytesPerRank, *maxBytesPerRank)
+			}
+		}
+	}
 	stop()
+}
+
+// parseRanks parses the -scale-curve rank list.
+func parseRanks(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad rank count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(stop func(), format string, args ...any) {

@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/mpi"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -26,6 +29,15 @@ type KernelPerf struct {
 	KernelEventsPerSec   float64 `json:"kernel_events_per_sec"`
 	KernelAllocsPerEvent float64 `json:"kernel_allocs_per_event"`
 
+	// Rank-execution hot paths (the goroutine-light refactor): one
+	// park/resume round trip of a blocking (goroutine) proc through the
+	// single-token direct handoff, and one wake of a spawn-free sim.Task
+	// state machine. Lower is better, so perfgate gates on the inverted
+	// rates; the task step must also stay allocation-free.
+	HandoffOpsPerSec    float64 `json:"handoff_ops_per_sec,omitempty"`
+	TaskStepOpsPerSec   float64 `json:"task_step_ops_per_sec,omitempty"`
+	TaskStepAllocsPerOp float64 `json:"task_step_allocs_per_op"`
+
 	// FabricPacketsPerSec pumps pooled packets through the full NIC
 	// pipeline: enqueue, wire occupancy, delivery, credit return.
 	FabricPacketsPerSec   float64 `json:"fabric_packets_per_sec"`
@@ -44,6 +56,22 @@ type KernelPerf struct {
 	ScaleSerialMs  float64 `json:"scale_serial_ms,omitempty"`
 	ScaleShardedMs float64 `json:"scale_sharded_ms,omitempty"`
 	ScaleSpeedup   float64 `json:"scale_speedup,omitempty"`
+
+	// ScaleCurve (optional — cmd/perfgate -scale-curve) is the memory and
+	// throughput footprint of task-mode worlds as the rank count grows:
+	// heap bytes retained per rank after the run and kernel events per
+	// wall-clock second during it. The per-rank bytes are the figure the
+	// goroutine-light refactor moves — 64k blocking ranks would hold 64k
+	// goroutine stacks.
+	ScaleCurve []ScalePoint `json:"scale_curve,omitempty"`
+}
+
+// ScalePoint is one rank count of the scale curve.
+type ScalePoint struct {
+	Ranks        int     `json:"ranks"`
+	BytesPerRank float64 `json:"bytes_per_rank"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Ms           float64 `json:"ms"`
 }
 
 // perfChain is the self-rescheduling event used by the kernel throughput
@@ -89,11 +117,39 @@ func MeasureKernelPerf() KernelPerf {
 		k.Drain()
 	}) / perRun
 
+	// Rank-execution round trips: a blocking proc yielding in a loop
+	// (park + resume through the token handoff), and a task doing the
+	// same through TaskYield (pure heap rescheduling, no goroutine).
+	const yields = 200_000
+	hk := sim.NewKernel()
+	hk.Spawn("yielder", func(pr *sim.Proc) {
+		for i := 0; i < yields; i++ {
+			pr.Yield()
+		}
+	})
+	start = time.Now()
+	hk.Drain()
+	p.HandoffOpsPerSec = yields / time.Since(start).Seconds()
+	tk := sim.NewKernel()
+	ty := &perfYieldTask{sig: sim.NewSignal(tk)}
+	tk.SpawnTask("yielder", ty)
+	tk.Drain() // park on the signal
+	pump := func(rounds int) {
+		ty.left = rounds
+		ty.sig.Fire()
+		tk.Drain()
+	}
+	pump(1000) // warmup: wake-list recycling
+	start = time.Now()
+	pump(yields)
+	p.TaskStepOpsPerSec = yields / time.Since(start).Seconds()
+	p.TaskStepAllocsPerOp = testing.AllocsPerRun(20, func() { pump(perRun) }) / perRun
+
 	// Fabric packet pipeline.
 	fk := sim.NewKernel()
 	nw := fabric.NewNetwork(fk, 2, Config())
 	nw.SetHandler(1, func(*fabric.Packet) {})
-	pump := func() {
+	fpump := func() {
 		pkt := nw.AllocPacket()
 		pkt.Src, pkt.Dst, pkt.Kind, pkt.Size = 0, 1, fabric.KindPutData, 4096
 		pkt.Arg[3] = 1
@@ -101,15 +157,15 @@ func MeasureKernelPerf() KernelPerf {
 		fk.Drain()
 	}
 	for i := 0; i < 1000; i++ { // warmup: pools, registration cache
-		pump()
+		fpump()
 	}
 	const packets = 200_000
 	start = time.Now()
 	for i := 0; i < packets; i++ {
-		pump()
+		fpump()
 	}
 	p.FabricPacketsPerSec = packets / time.Since(start).Seconds()
-	p.FabricAllocsPerPacket = testing.AllocsPerRun(200, pump)
+	p.FabricAllocsPerPacket = testing.AllocsPerRun(200, fpump)
 
 	// Figure regeneration, parallel then serial. FigModes keeps the flush-
 	// mode path (core.ModeFlush + the scalable lock protocol) inside the
@@ -132,6 +188,68 @@ func MeasureKernelPerf() KernelPerf {
 	p.FigureRegenSerialMs = float64(time.Since(start).Microseconds()) / 1000
 	par.SetWorkers(prev)
 	return p
+}
+
+// perfYieldTask re-arms a same-time wake left times, then parks on its
+// signal so the same task object can be pumped again: each Step is one
+// task-mode scheduling round trip with no spawn in the measured loop.
+type perfYieldTask struct {
+	left int
+	sig  *sim.Signal
+}
+
+func (t *perfYieldTask) Step(p *sim.Proc) {
+	if t.left == 0 {
+		t.sig.Wait(p, "idle")
+		return
+	}
+	t.left--
+	p.TaskYield()
+}
+
+// MeasureScaleCurve fills p.ScaleCurve: for each rank count, one
+// nonblocking-series scale cell on task-mode ranks, reporting retained heap
+// bytes per rank and kernel event throughput. Opt-in (cmd/perfgate
+// -scale-curve): the 16k+ points take tens of seconds and real memory.
+func (p *KernelPerf) MeasureScaleCurve(ranks []int, iters int) {
+	for _, n := range ranks {
+		p.ScaleCurve = append(p.ScaleCurve, measureScalePoint(n, iters))
+	}
+}
+
+func measureScalePoint(n, iters int) ScalePoint {
+	samples := make([][]sim.Time, n)
+	cfg := Config()
+	cfg.Topo = ScaleTopo(n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	w := mpi.NewWorldShards(n, cfg, Shards())
+	rt := core.NewRuntime(w)
+	start := time.Now()
+	err := w.RunTasks(func(r *mpi.Rank) sim.Task {
+		return newScaleTask(rt, r, SeriesNewNB, iters, samples)
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("bench: scale point (n=%d) failed: %v", n, err))
+	}
+	events := w.Events()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	pt := ScalePoint{
+		Ranks:        n,
+		EventsPerSec: float64(events) / elapsed.Seconds(),
+		Ms:           float64(elapsed.Microseconds()) / 1000,
+	}
+	// Retained = the world, runtime, windows, counter tables and parked
+	// task state; the KeepAlive pins it across the post-run GC.
+	if after.HeapAlloc > before.HeapAlloc {
+		pt.BytesPerRank = float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+	}
+	runtime.KeepAlive(rt)
+	runtime.KeepAlive(samples)
+	return pt
 }
 
 // MeasureScaleSpeedup times one ranks-rank scale cell (the nonblocking

@@ -134,6 +134,14 @@ func ScaleTopo(n int) topo.Spec {
 	return topo.Spec{Kind: topo.FatTree, HostsPerLeaf: perLeaf, Spines: ScaleSpines}
 }
 
+// scaleWinOptions is the per-cell window configuration. AAER lets the new
+// design's access epoch progress inside the still-open exposure epoch (the
+// both-roles pattern of Fig 9); vanilla activates every epoch immediately
+// and ignores the info.
+func scaleWinOptions(s Series) core.WinOptions {
+	return core.WinOptions{Mode: s.Mode(), ShapeOnly: true, Info: core.Info{AAER: true}}
+}
+
 // scaleCell runs one (ranks, series) cell: iters both-roles GATS epochs of
 // log2(n) strided partners with ScaleWork of computation each. This is the
 // figure the kernel shards exist for: one 512-rank simulation saturates a
@@ -142,6 +150,14 @@ func ScaleTopo(n int) topo.Spec {
 // aggregate rank-major, so the cell's numbers are bit-identical at any
 // shard count.
 func scaleCell(n int, s Series, iters int) scaleMeasure {
+	return scaleCellMode(n, s, iters, true)
+}
+
+// scaleCellMode selects the rank execution form: spawn-free sim.Task state
+// machines (tasks=true, the default — 64k ranks fit one process without
+// 64k goroutine stacks) or blocking goroutine bodies (the reference
+// semantics; TestScaleTaskParity pins bit-identity between the two).
+func scaleCellMode(n int, s Series, iters int, tasks bool) scaleMeasure {
 	if n&(n-1) != 0 || n < 2 {
 		panic(fmt.Sprintf("bench: scale rank count %d is not a power of two", n))
 	}
@@ -150,62 +166,14 @@ func scaleCell(n int, s Series, iters int) scaleMeasure {
 	cfg.Topo = ScaleTopo(n)
 	w := mpi.NewWorldShards(n, cfg, Shards())
 	rt := core.NewRuntime(w)
-	err := w.Run(func(r *mpi.Rank) {
-		// AAER lets the new design's access epoch progress inside the
-		// still-open exposure epoch (the both-roles pattern of Fig 9);
-		// vanilla activates every epoch immediately and ignores the info.
-		win := rt.CreateWindow(r, int64(n)*ScaleChunk, core.WinOptions{Mode: s.Mode(), ShapeOnly: true, Info: core.Info{AAER: true}})
-		tg := scaleGroup(n, r.ID, +1)
-		og := scaleGroup(n, r.ID, -1)
-		if s == SeriesFlush {
-			// Epochless idiom: lock_all once for the window's lifetime (one
-			// conditional atomic at the master, whatever n), then per
-			// iteration puts + a window-wide flush overlapped with the
-			// computation. The per-iteration barrier provides the target-side
-			// ordering an exposure epoch would.
-			win.LockAll()
-			for it := 0; it < iters; it++ {
-				r.Barrier()
-				t0 := r.Now()
-				for _, t := range tg {
-					win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
-				}
-				freq := win.IFlushAll()
-				r.Compute(ScaleWork)
-				r.Wait(freq)
-				samples[r.ID] = append(samples[r.ID], r.Now()-t0)
-			}
-			win.UnlockAll()
-			win.Quiesce()
-			return
-		}
-		for it := 0; it < iters; it++ {
-			r.Barrier()
-			t0 := r.Now()
-			if s.Nonblocking() {
-				win.IPost(og)
-				win.IStart(tg)
-				for _, t := range tg {
-					win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
-				}
-				creq := win.IComplete()
-				wreq := win.IWait()
-				r.Compute(ScaleWork)
-				r.Wait(creq, wreq)
-			} else {
-				win.Post(og)
-				win.Start(tg)
-				for _, t := range tg {
-					win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
-				}
-				win.Complete()
-				win.WaitEpoch()
-				r.Compute(ScaleWork)
-			}
-			samples[r.ID] = append(samples[r.ID], r.Now()-t0)
-		}
-		win.Quiesce()
-	})
+	var err error
+	if tasks {
+		err = w.RunTasks(func(r *mpi.Rank) sim.Task {
+			return newScaleTask(rt, r, s, iters, samples)
+		})
+	} else {
+		err = w.Run(func(r *mpi.Rank) { scaleRankProc(rt, r, s, iters, samples) })
+	}
 	if err != nil {
 		panic(fmt.Sprintf("bench: scale (n=%d, %s) failed: %v", n, s, err))
 	}
@@ -219,4 +187,62 @@ func scaleCell(n int, s Series, iters int) scaleMeasure {
 		queued: us(sum.QueuedTime) / float64(iters),
 		stalls: float64(sum.CreditStalls) / float64(iters),
 	}
+}
+
+// scaleRankProc is the blocking (goroutine) form of the scale cell's rank
+// program — the readable reference the scaleTask state machine mirrors
+// call for call.
+func scaleRankProc(rt *core.Runtime, r *mpi.Rank, s Series, iters int, samples [][]sim.Time) {
+	n := r.Size()
+	win := rt.CreateWindow(r, int64(n)*ScaleChunk, scaleWinOptions(s))
+	tg := scaleGroup(n, r.ID, +1)
+	og := scaleGroup(n, r.ID, -1)
+	if s == SeriesFlush {
+		// Epochless idiom: lock_all once for the window's lifetime (one
+		// conditional atomic at the master, whatever n), then per
+		// iteration puts + a window-wide flush overlapped with the
+		// computation. The per-iteration barrier provides the target-side
+		// ordering an exposure epoch would.
+		win.LockAll()
+		for it := 0; it < iters; it++ {
+			r.Barrier()
+			t0 := r.Now()
+			for _, t := range tg {
+				win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
+			}
+			freq := win.IFlushAll()
+			r.Compute(ScaleWork)
+			r.Wait(freq)
+			samples[r.ID] = append(samples[r.ID], r.Now()-t0)
+		}
+		win.UnlockAll()
+		win.Quiesce()
+		return
+	}
+	for it := 0; it < iters; it++ {
+		r.Barrier()
+		t0 := r.Now()
+		if s.Nonblocking() {
+			win.IPost(og)
+			win.IStart(tg)
+			for _, t := range tg {
+				win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
+			}
+			creq := win.IComplete()
+			wreq := win.IWait()
+			r.Compute(ScaleWork)
+			r.Wait(creq, wreq)
+		} else {
+			win.Post(og)
+			win.Start(tg)
+			for _, t := range tg {
+				win.Put(t, int64(r.ID)*ScaleChunk, nil, ScaleChunk)
+			}
+			win.Complete()
+			win.WaitEpoch()
+			r.Compute(ScaleWork)
+		}
+		samples[r.ID] = append(samples[r.ID], r.Now()-t0)
+	}
+	win.Quiesce()
 }

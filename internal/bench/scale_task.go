@@ -1,0 +1,442 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// scaleTask is scaleRankProc unrolled into a spawn-free sim.Task state
+// machine: the same MPI calls in the same order at the same virtual times,
+// with every blocking span replaced by an armed wake. A 64k-rank world then
+// needs no 64k goroutine stacks — each rank is this one small struct.
+//
+// The mirroring discipline (see core/task_api.go for the per-call
+// correspondences): every ChargeCall of the blocking path becomes an
+// explicit TaskSleep(CallOverhead) step, every waitUntil becomes a
+// TaskAwait per Step, and the window calls go through the no-charge (NC)
+// entry points between them. TestScaleTaskParity pins the resulting
+// bit-identity against scaleRankProc.
+type scaleTask struct {
+	rt      *core.Runtime
+	r       *mpi.Rank
+	s       Series
+	iters   int
+	samples [][]sim.Time
+
+	win    *core.Window
+	tg, og []int
+
+	pc  int // current micro-state (st* constants)
+	it  int // completed iterations
+	j   int // put index within the current iteration
+	t0  sim.Time
+	bar *mpi.TaskBarrier
+
+	ep         *core.Epoch  // epoch between build and push
+	req        *mpi.Request // single awaited request
+	creq, wreq *mpi.Request // nonblocking close pair
+	drain      *core.VanillaDrain
+	ust        *core.UnlockAllState
+
+	// afterPuts and afterCompute route the shared put-loop and compute
+	// states back into the series-specific program.
+	afterPuts, afterCompute int
+}
+
+func newScaleTask(rt *core.Runtime, r *mpi.Rank, s Series, iters int, samples [][]sim.Time) *scaleTask {
+	return &scaleTask{rt: rt, r: r, s: s, iters: iters, samples: samples}
+}
+
+// Micro-states. Each is the point the program resumes at after an armed
+// sleep or wake; states are grouped as shared setup and iteration
+// scaffolding, one block per series, then shared teardown. The charge that
+// leads INTO a state is armed by its predecessor (with t.pc already
+// advanced), so a state's code runs strictly after that overhead elapsed —
+// the same virtual-time position the blocking call body holds after its
+// ChargeCall returns.
+const (
+	stCreate = iota // window creation + the create-barrier's charge
+	stCreateBarrier
+	stInit // series-specific setup (flush: LockAll's charge)
+	stLockIssue
+	stLockAwait
+	stIterTop // next iteration's barrier charge, or teardown
+	stIterBarrier
+	stPuts // shared put loop: arm one charge per put
+	stPutIssue
+	stCompute // shared ScaleWork computation
+	stSample  // record the iteration sample
+
+	// Flush series: puts; IFlushAll; compute; Wait.
+	stFFlushIssue
+	stFWaitCharge
+	stFAwait
+
+	// Nonblocking epoch series: IPost; IStart; puts; IComplete; IWait;
+	// compute; Wait(creq, wreq).
+	stNPostPush
+	stNStartPush
+	stNCompleteCharge
+	stNCompleteIssue
+	stNWaitIssue
+	stNWaitCharge
+	stNAwait
+
+	// Blocking epoch series (new design): Post; Start; puts; Complete;
+	// WaitEpoch; compute.
+	stBPostPush
+	stBPostAwait
+	stBStartBuild
+	stBStartPush
+	stBStartAwait
+	stBCompleteIssue
+	stBCompleteAwait
+	stBWaitIssue
+	stBWaitAwait
+
+	// Vanilla (MVAPICH) series: Post; Start; puts; Complete; WaitEpoch;
+	// compute.
+	stVPost
+	stVStart
+	stVCompleteBegin
+	stVCompleteDrain
+	stVWaitDrain
+
+	// Teardown: flush-mode UnlockAll, then Quiesce.
+	stUnlockBegin
+	stUnlockFinish
+	stUnlockWaitCharge
+	stUnlockAwait
+	stQuiesce
+)
+
+// charge models one blocking MPI call's entry overhead; true means the
+// task armed a sleep and Step must return (resuming at the pc set by the
+// caller). A zero configured overhead continues inline, exactly as the
+// blocking ChargeCall is a no-op then.
+func (t *scaleTask) charge(p *sim.Proc) bool {
+	return p.TaskSleep(t.r.CallOverhead(), "mpi-call")
+}
+
+// checkErr surfaces a failed synchronization like waitSync does: the panic
+// aborts the kernel and scaleCellMode reports it.
+func checkErr(req *mpi.Request) {
+	if err := req.Err(); err != nil {
+		panic(err)
+	}
+}
+
+func (t *scaleTask) Step(p *sim.Proc) {
+	r := t.r
+	for {
+		switch t.pc {
+		case stCreate:
+			n := r.Size()
+			t.win = t.rt.CreateWindowNC(r, int64(n)*ScaleChunk, scaleWinOptions(t.s))
+			t.tg = scaleGroup(n, r.ID, +1)
+			t.og = scaleGroup(n, r.ID, -1)
+			t.pc = stCreateBarrier
+			if t.charge(p) {
+				return
+			}
+		case stCreateBarrier:
+			if t.bar == nil {
+				t.bar = r.NewTaskBarrier()
+			}
+			if !t.bar.Step(p) {
+				return
+			}
+			t.bar = nil
+			t.pc = stInit
+		case stInit:
+			if t.s != SeriesFlush {
+				t.pc = stIterTop
+				continue
+			}
+			t.pc = stLockIssue
+			if t.charge(p) {
+				return
+			}
+		case stLockIssue:
+			t.req = t.win.LockAllNC()
+			t.pc = stLockAwait
+			if t.charge(p) { // r.Wait's charge
+				return
+			}
+		case stLockAwait:
+			if !r.TaskAwait(p, "waitall", t.req.Done) {
+				return
+			}
+			checkErr(t.req)
+			t.req = nil
+			t.pc = stIterTop
+		case stIterTop:
+			if t.it == t.iters {
+				if t.s == SeriesFlush {
+					t.pc = stUnlockBegin
+				} else {
+					t.pc = stQuiesce
+				}
+				continue
+			}
+			t.pc = stIterBarrier
+			if t.charge(p) { // Barrier's charge
+				return
+			}
+		case stIterBarrier:
+			if t.bar == nil {
+				t.bar = r.NewTaskBarrier()
+			}
+			if !t.bar.Step(p) {
+				return
+			}
+			t.bar = nil
+			t.t0 = r.Now()
+			switch {
+			case t.s == SeriesFlush:
+				t.afterPuts = stFFlushIssue
+				t.pc = stPuts
+			case t.s.Nonblocking():
+				t.ep = t.win.PostBuildNC(t.og)
+				t.pc = stNPostPush
+				if t.charge(p) { // IPost's charge
+					return
+				}
+			case t.s.Mode() == core.ModeVanilla:
+				t.pc = stVPost
+				if t.charge(p) { // vanilla Post's charge
+					return
+				}
+			default: // blocking new design
+				t.ep = t.win.PostBuildNC(t.og)
+				t.pc = stBPostPush
+				if t.charge(p) { // IPost's charge
+					return
+				}
+			}
+		case stPuts:
+			if t.j == len(t.tg) {
+				t.j = 0
+				// afterPuts states own the charge of the call that follows
+				// the put loop, so arm it here on the way out.
+				t.pc = t.afterPuts
+				if t.charge(p) {
+					return
+				}
+				continue
+			}
+			t.pc = stPutIssue
+			if t.charge(p) { // Put's charge
+				return
+			}
+		case stPutIssue:
+			t.win.PutNC(t.tg[t.j], int64(r.ID)*ScaleChunk, nil, ScaleChunk)
+			t.j++
+			t.pc = stPuts
+		case stCompute:
+			t.pc = t.afterCompute
+			if p.TaskSleep(ScaleWork, "compute") {
+				return
+			}
+		case stSample:
+			t.samples[r.ID] = append(t.samples[r.ID], r.Now()-t.t0)
+			t.it++
+			t.pc = stIterTop
+
+		case stFFlushIssue: // entered with IFlushAll's charge elapsed
+			t.req = t.win.FlushAllNC()
+			t.afterCompute = stFWaitCharge
+			t.pc = stCompute
+		case stFWaitCharge:
+			t.pc = stFAwait
+			if t.charge(p) { // r.Wait's charge
+				return
+			}
+		case stFAwait:
+			if !r.TaskAwait(p, "waitall", t.req.Done) {
+				return
+			}
+			t.req = nil
+			t.pc = stSample
+
+		case stNPostPush:
+			t.win.EpochPushNC(t.ep)
+			t.ep = t.win.StartBuildNC(t.tg)
+			t.pc = stNStartPush
+			if t.charge(p) { // IStart's charge
+				return
+			}
+		case stNStartPush:
+			t.win.EpochPushNC(t.ep)
+			t.ep = nil
+			t.afterPuts = stNCompleteCharge
+			t.pc = stPuts
+		case stNCompleteCharge: // entered with IComplete's charge elapsed
+			t.creq = t.win.CompleteNC()
+			t.pc = stNCompleteIssue
+			if t.charge(p) { // IWait's charge
+				return
+			}
+		case stNCompleteIssue:
+			t.wreq = t.win.WaitEpochNC()
+			t.afterCompute = stNWaitCharge
+			t.pc = stCompute
+		case stNWaitCharge:
+			t.pc = stNAwait
+			if t.charge(p) { // r.Wait's charge
+				return
+			}
+		case stNAwait:
+			creq, wreq := t.creq, t.wreq
+			if !r.TaskAwait(p, "waitall", func() bool { return creq.Done() && wreq.Done() }) {
+				return
+			}
+			t.creq, t.wreq = nil, nil
+			t.pc = stSample
+
+		case stBPostPush:
+			t.win.EpochPushNC(t.ep)
+			t.req = t.ep.OpenReq()
+			t.ep = nil
+			t.pc = stBPostAwait
+			if t.charge(p) { // r.Wait's charge
+				return
+			}
+		case stBPostAwait:
+			if !r.TaskAwait(p, "waitall", t.req.Done) {
+				return
+			}
+			t.req = nil
+			t.pc = stBStartBuild
+		case stBStartBuild:
+			t.ep = t.win.StartBuildNC(t.tg)
+			t.pc = stBStartPush
+			if t.charge(p) { // IStart's charge
+				return
+			}
+		case stBStartPush:
+			t.win.EpochPushNC(t.ep)
+			t.req = t.ep.OpenReq()
+			t.ep = nil
+			t.pc = stBStartAwait
+			if t.charge(p) { // r.Wait's charge
+				return
+			}
+		case stBStartAwait:
+			if !r.TaskAwait(p, "waitall", t.req.Done) {
+				return
+			}
+			t.req = nil
+			t.afterPuts = stBCompleteIssue
+			t.pc = stPuts
+		case stBCompleteIssue: // entered with IComplete's charge elapsed
+			t.req = t.win.CompleteNC()
+			t.pc = stBCompleteAwait
+			if t.charge(p) { // waitSync's Wait charge
+				return
+			}
+		case stBCompleteAwait:
+			if !r.TaskAwait(p, "waitall", t.req.Done) {
+				return
+			}
+			checkErr(t.req)
+			t.req = nil
+			t.pc = stBWaitIssue
+			if t.charge(p) { // IWait's charge
+				return
+			}
+		case stBWaitIssue:
+			t.req = t.win.WaitEpochNC()
+			t.pc = stBWaitAwait
+			if t.charge(p) { // waitSync's Wait charge
+				return
+			}
+		case stBWaitAwait:
+			if !r.TaskAwait(p, "waitall", t.req.Done) {
+				return
+			}
+			checkErr(t.req)
+			t.req = nil
+			t.afterCompute = stSample
+			t.pc = stCompute
+
+		case stVPost:
+			t.win.VanillaPostNC(t.og)
+			t.pc = stVStart
+			if t.charge(p) { // vanilla Start's charge
+				return
+			}
+		case stVStart:
+			t.win.VanillaStartNC(t.tg)
+			t.afterPuts = stVCompleteBegin
+			t.pc = stPuts
+		case stVCompleteBegin: // entered with Complete's charge elapsed
+			t.drain = t.win.VanillaCompleteBeginNC()
+			t.pc = stVCompleteDrain
+		case stVCompleteDrain:
+			if !t.drain.Step(p) {
+				return
+			}
+			t.drain = nil
+			t.pc = stVWaitDrain
+			if t.charge(p) { // WaitEpoch's charge
+				return
+			}
+		case stVWaitDrain:
+			if t.drain == nil {
+				t.drain = t.win.VanillaWaitBeginNC()
+			}
+			if !t.drain.Step(p) {
+				return
+			}
+			t.drain = nil
+			t.afterCompute = stSample
+			t.pc = stCompute
+
+		case stUnlockBegin: // entered from stIterTop; charge UnlockAll first
+			t.pc = stUnlockFinish
+			if t.charge(p) {
+				return
+			}
+		case stUnlockFinish:
+			st, req := t.win.UnlockAllBeginNC()
+			t.ust, t.req = st, req
+			if st == nil {
+				// Window already poisoned: no embedded flush, straight to
+				// the wait on the completed-failed request.
+				t.pc = stUnlockWaitCharge
+				continue
+			}
+			t.pc = stUnlockWaitCharge
+			if t.charge(p) { // the embedded IFlushAll's charge
+				return
+			}
+		case stUnlockWaitCharge:
+			if t.ust != nil {
+				t.req = t.win.UnlockAllFinishNC(t.ust)
+				t.ust = nil
+			}
+			t.pc = stUnlockAwait
+			if t.charge(p) { // waitSync's Wait charge
+				return
+			}
+		case stUnlockAwait:
+			if !r.TaskAwait(p, "waitall", t.req.Done) {
+				return
+			}
+			checkErr(t.req)
+			t.req = nil
+			t.pc = stQuiesce
+
+		case stQuiesce:
+			if !r.TaskAwait(p, "win-quiesce", t.win.Quiesced) {
+				return
+			}
+			p.TaskExit()
+			return
+		default:
+			panic("bench: scaleTask in impossible state")
+		}
+	}
+}

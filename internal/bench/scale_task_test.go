@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestScaleTaskParity pins the tentpole invariant: the spawn-free task
+// state machine and the blocking goroutine body are the same program —
+// every cell measure (latency, queued time, credit stalls) is bit-identical
+// between the two execution forms, for every series.
+func TestScaleTaskParity(t *testing.T) {
+	const n, iters = 64, 3
+	for _, s := range ScaleSeries {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			task := scaleCellMode(n, s, iters, true)
+			proc := scaleCellMode(n, s, iters, false)
+			if task != proc {
+				t.Fatalf("task/proc divergence for %s: task=%+v proc=%+v", s, task, proc)
+			}
+		})
+	}
+}

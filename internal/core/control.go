@@ -81,11 +81,11 @@ func (e *Engine) applyControl(kind ctlKind, w *Window, src int, value int64) {
 	switch kind {
 	case ctlGrant:
 		w.emitArrival(traceGrant, src, 0)
-		w.peers[src].recordGrant(value)
+		w.peer(src).recordGrant(value)
 		w.onGrant(src)
 	case ctlDone:
 		w.emitArrival(traceDone, src, 0)
-		w.peers[src].recordDone(value)
+		w.peer(src).recordDone(value)
 		w.onDoneRecv(src)
 	case ctlLockReq:
 		// Batched with the other lock work in step 6.

@@ -85,7 +85,7 @@ type PeerCounterState struct {
 
 // PeerState returns this window's counter snapshot toward peer.
 func (w *Window) PeerState(peer int) PeerCounterState {
-	c := w.peers[peer]
+	c := w.peers.peek(peer)
 	return PeerCounterState{A: c.a, E: c.e, G: c.g, DoneRecv: c.doneRecv}
 }
 

@@ -46,6 +46,11 @@ type Engine struct {
 	// rank (see errors.go); allocated lazily on the first declaration.
 	dead []bool
 
+	// arena backs the sparse per-peer counter tables of this engine's
+	// windows in large worlds. Engine-local, so kernel shards never share
+	// a slab.
+	arena counterArena
+
 	// Sweeps counts Progress invocations (diagnostics).
 	Sweeps int64
 }
@@ -58,9 +63,19 @@ type fifoWordTo struct {
 func newEngine(rt *Runtime, r *mpi.Rank) *Engine {
 	e := &Engine{rt: rt, rank: r, windows: make(map[int64]*Window)}
 	cfg := rt.world.Net.Cfg
-	for p := 0; p < rt.world.Size(); p++ {
-		if p != r.ID && cfg.SameNode(r.ID, p) {
-			e.nodePeers = append(e.nodePeers, p)
+	// Same-node peers are the contiguous ProcsPerNode block around this
+	// rank (fabric.Config.NodeOf), computed arithmetically: scanning all n
+	// ranks here would make world construction O(n²) at 64k ranks.
+	if ppn := cfg.ProcsPerNode; ppn > 1 {
+		lo := cfg.NodeOf(r.ID) * ppn
+		hi := lo + ppn
+		if size := rt.world.Size(); hi > size {
+			hi = size
+		}
+		for p := lo; p < hi; p++ {
+			if p != r.ID {
+				e.nodePeers = append(e.nodePeers, p)
+			}
 		}
 	}
 	r.SetRMAHandler(e.nicDeliver)

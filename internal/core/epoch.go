@@ -184,7 +184,7 @@ func (ep *Epoch) granted(t int) bool {
 	if !ok {
 		return false // not activated yet
 	}
-	return ep.win.peers[t].granted(id)
+	return ep.win.peer(t).granted(id)
 }
 
 // accessSideDone reports whether all origin-side completion conditions
@@ -240,7 +240,7 @@ func (ep *Epoch) exposureSideDone() bool {
 		if !ok {
 			return false
 		}
-		if !ep.win.peers[o].exposureComplete(id) {
+		if !ep.win.peer(o).exposureComplete(id) {
 			return false
 		}
 	}

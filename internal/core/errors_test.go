@@ -288,7 +288,7 @@ func TestDuplicateLockGrantIdempotent(t *testing.T) {
 			// Replay the grant control word exactly as a duplicated
 			// KindPostNotify delivery would (same cumulative value).
 			eng := rt.Engine(0)
-			eng.applyControl(ctlGrant, win, 1, win.peers[1].g)
+			eng.applyControl(ctlGrant, win, 1, win.peer(1).g)
 			win.Unlock(1)
 		}
 		r.Barrier() // target reads only after the origin's unlock

@@ -21,10 +21,7 @@ func agentHarness(t *testing.T, n int) *Window {
 		id:    0,
 		mode:  ModeNew,
 		n:     n,
-		peers: make([]*peerCounters, n),
-	}
-	for i := range win.peers {
-		win.peers[i] = &peerCounters{}
+		peers: newPeerTable(n, &eng.arena),
 	}
 	win.agent = newLockAgent(win)
 	eng.windows[0] = win

@@ -44,6 +44,12 @@ type rmaOp struct {
 func (w *Window) addOp(o *rmaOp) {
 	w.checkLive()
 	w.rank.ChargeCall()
+	w.addOpNC(o)
+}
+
+// addOpNC is addOp after its ChargeCall (shared with the task API).
+func (w *Window) addOpNC(o *rmaOp) {
+	w.checkLive()
 	w.checkRange(o.target, o.off, o.size)
 	if w.buf == nil && (o.data != nil || o.buf != nil || o.cmp != nil) {
 		w.raisef("data-carrying RMA operation on a shape-only window")

@@ -68,6 +68,16 @@ type WinOptions struct {
 // order with the same options (as with MPI_WIN_CREATE); the call contains a
 // barrier.
 func (rt *Runtime) CreateWindow(r *mpi.Rank, size int64, opt WinOptions) *Window {
+	w := rt.CreateWindowNC(r, size, opt)
+	r.Barrier()
+	return w
+}
+
+// CreateWindowNC is CreateWindow without the trailing collective barrier:
+// the local-state half task-mode ranks call before running the barrier as
+// an explicit TaskSleep + TaskBarrier sequence. (The blocking CreateWindow
+// is exactly CreateWindowNC + Barrier.)
+func (rt *Runtime) CreateWindowNC(r *mpi.Rank, size int64, opt WinOptions) *Window {
 	if size < 0 {
 		panic(fmt.Sprintf("core: rank %d: negative window size %d", r.ID, size))
 	}
@@ -83,14 +93,11 @@ func (rt *Runtime) CreateWindow(r *mpi.Rank, size int64, opt WinOptions) *Window
 		noTrig:  opt.NoTriggeredOps,
 		chkCfl:  opt.CheckConflicts,
 		timeout: opt.EpochTimeout,
-		peers:   make([]*peerCounters, rt.world.Size()),
+		peers:   newPeerTable(rt.world.Size(), &eng.arena),
 	}
 	eng.nextWinID++
 	if !opt.ShapeOnly {
 		w.buf = make([]byte, size)
-	}
-	for i := range w.peers {
-		w.peers[i] = &peerCounters{}
 	}
 	w.agent = newLockAgent(w)
 	if opt.Mode == ModeFlush {
@@ -98,7 +105,6 @@ func (rt *Runtime) CreateWindow(r *mpi.Rank, size int64, opt WinOptions) *Window
 	}
 	eng.windows[w.id] = w
 	eng.winList = append(eng.winList, w)
-	r.Barrier()
 	return w
 }
 

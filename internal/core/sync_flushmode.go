@@ -72,7 +72,11 @@ type flushState struct {
 func (w *Window) initFlushMode() {
 	ep := &Epoch{win: w, kind: EpochLockAll, seq: -1, shared: true,
 		noCheck: true, activated: true}
-	ep.ensureAccessMaps(w.n)
+	// Small hint, not w.n: the perpetual epoch is noCheck, so granted()
+	// never consults accessID and pending only ever holds the targets this
+	// rank actually flushes toward — presizing for the whole world would
+	// cost O(n) per window per rank at 64k ranks.
+	ep.ensureAccessMaps(8)
 	w.flushEp = ep
 	w.fm = &flushState{
 		w:          w,
@@ -351,9 +355,16 @@ func (fm *flushState) release(target int) *mpi.Request {
 // master's global S counter, whatever the window size — foMPI's scalability
 // argument in one line.
 func (fm *flushState) acquireAll() *mpi.Request {
+	fm.w.checkLive()
+	fm.w.rank.ChargeCall()
+	return fm.acquireAllNC()
+}
+
+// acquireAllNC is acquireAll after its ChargeCall (shared with the task
+// API).
+func (fm *flushState) acquireAllNC() *mpi.Request {
 	w := fm.w
 	w.checkLive()
-	w.rank.ChargeCall()
 	if w.err != nil {
 		return mpi.NewFailedRequest(w.rank, w.err)
 	}
@@ -371,8 +382,24 @@ func (fm *flushState) releaseAll() *mpi.Request {
 	w := fm.w
 	w.checkLive()
 	w.rank.ChargeCall()
+	lo, req := fm.releaseAllBegin()
+	if lo == nil {
+		return req
+	}
+	// The embedded IFlushAll carries its own ChargeCall — the blocking
+	// unlock_all really does pay two call overheads, and the task-mode
+	// mirror (task_api.go) models both sleeps explicitly.
+	return fm.releaseAllFinish(lo, w.IFlushAll())
+}
+
+// releaseAllBegin is releaseAll up to (but excluding) the embedded
+// IFlushAll: the hold ends, the protocol op is pending. Returns a nil op
+// with a completed-failed request when the window is already poisoned.
+func (fm *flushState) releaseAllBegin() (*lockOp, *mpi.Request) {
+	w := fm.w
+	w.checkLive()
 	if w.err != nil {
-		return mpi.NewFailedRequest(w.rank, w.err)
+		return nil, mpi.NewFailedRequest(w.rank, w.err)
 	}
 	if !fm.lockAll {
 		w.raisef("flush mode: unlock_all without holding lock_all")
@@ -381,7 +408,12 @@ func (fm *flushState) releaseAll() *mpi.Request {
 	fm.lockAll = false
 	lo := &lockOp{fm: fm, req: mpi.NewRequest(w.rank), target: -1}
 	fm.pending[lo] = struct{}{}
-	fq := w.IFlushAll()
+	return lo, lo.req
+}
+
+// releaseAllFinish chains the global release behind the flush-all request
+// fq (built by the caller with or without a charge).
+func (fm *flushState) releaseAllFinish(lo *lockOp, fq *mpi.Request) *mpi.Request {
 	fq.OnComplete(func() {
 		if err := fq.Err(); err != nil {
 			lo.fail(err)

@@ -33,6 +33,15 @@ func (w *Window) Start(group []int) {
 
 // startEpoch creates and enqueues a GATS access epoch.
 func (w *Window) startEpoch(group []int) *Epoch {
+	ep := w.buildStartEpoch(group)
+	w.pushEpoch(ep)
+	return ep
+}
+
+// buildStartEpoch is the pre-charge half of startEpoch: the epoch exists
+// and is registered as application-open, but has not entered the epoch
+// pipeline yet. Shared with the no-charge task API (task_api.go).
+func (w *Window) buildStartEpoch(group []int) *Epoch {
 	if len(group) == 0 {
 		w.raisef("Start with an empty target group")
 	}
@@ -40,7 +49,6 @@ func (w *Window) startEpoch(group []int) *Epoch {
 	ep.setTargets(append([]int(nil), group...))
 	ep.openReq = mpi.NewCompletedRequest(w.rank)
 	w.openAccess = append(w.openAccess, ep)
-	w.pushEpoch(ep)
 	return ep
 }
 
@@ -98,6 +106,13 @@ func (w *Window) Post(group []int) {
 
 // postEpoch creates and enqueues a GATS exposure epoch.
 func (w *Window) postEpoch(group []int) *Epoch {
+	ep := w.buildPostEpoch(group)
+	w.pushEpoch(ep)
+	return ep
+}
+
+// buildPostEpoch is the pre-charge half of postEpoch (see buildStartEpoch).
+func (w *Window) buildPostEpoch(group []int) *Epoch {
 	if len(group) == 0 {
 		w.raisef("Post with an empty origin group")
 	}
@@ -105,7 +120,6 @@ func (w *Window) postEpoch(group []int) *Epoch {
 	ep.origins = append([]int(nil), group...)
 	ep.openReq = mpi.NewCompletedRequest(w.rank)
 	w.openExposure = append(w.openExposure, ep)
-	w.pushEpoch(ep)
 	return ep
 }
 
@@ -119,6 +133,11 @@ func (w *Window) IWait() *mpi.Request {
 		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
 	w.rank.ChargeCall()
+	return w.iWaitNC()
+}
+
+// iWaitNC is IWait after its ChargeCall (shared with the task API).
+func (w *Window) iWaitNC() *mpi.Request {
 	ep := w.takeOldestExposure()
 	ep.closedApp = true
 	w.emitEpoch(traceClose, ep)
@@ -165,7 +184,7 @@ func (w *Window) TestEpoch() bool {
 	// Probe completion without closing: all origins must have sent dones.
 	for _, o := range ep.exposureOrigins() {
 		id, ok := ep.exposeID[o]
-		if !ok || !ep.win.peers[o].exposureComplete(id) {
+		if !ok || !ep.win.peer(o).exposureComplete(id) {
 			return false
 		}
 	}

@@ -79,7 +79,7 @@ func (a *lockAgent) advance() {
 		a.w.emitArrival(traceLockGrant, h.origin, 0)
 		// Granting a lock updates e locally and g remotely, exactly like
 		// opening an exposure (Section VII-B).
-		id := a.w.peers[h.origin].nextExposureID()
+		id := a.w.peer(h.origin).nextExposureID()
 		a.w.eng.sendGrant(a.w, h.origin, id)
 	}
 }
@@ -176,12 +176,18 @@ func (w *Window) ILockAll() *mpi.Request {
 	if w.mode == ModeVanilla {
 		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
 	}
+	ep := w.buildLockAllEpoch()
+	w.pushEpoch(ep)
+	return ep.openReq
+}
+
+// buildLockAllEpoch is the pre-charge half of the epoch-mode ILockAll.
+func (w *Window) buildLockAllEpoch() *Epoch {
 	ep := newEpoch(w, EpochLockAll)
 	ep.shared = true
 	ep.openReq = mpi.NewCompletedRequest(w.rank)
 	w.openAccess = append(w.openAccess, ep)
-	w.pushEpoch(ep)
-	return ep.openReq
+	return ep
 }
 
 // LockAll is the blocking form of ILockAll.
@@ -239,6 +245,12 @@ func (w *Window) findOpenLock(target int, kind EpochKind) *Epoch {
 // and let the engine fulfil the rest.
 func (w *Window) closeAccessEpoch(ep *Epoch) *mpi.Request {
 	w.rank.ChargeCall()
+	return w.closeAccessEpochNC(ep)
+}
+
+// closeAccessEpochNC is closeAccessEpoch after its ChargeCall (shared with
+// the task API).
+func (w *Window) closeAccessEpochNC(ep *Epoch) *mpi.Request {
 	if ep.closedApp {
 		w.raisef("%s epoch seq %d closed twice", ep.kind, ep.seq)
 	}

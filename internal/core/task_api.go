@@ -1,0 +1,160 @@
+package core
+
+import (
+	"repro/internal/mpi"
+)
+
+// The no-charge (NC) window surface for task-mode ranks (sim.Task bodies).
+//
+// Blocking window calls charge MPI call overhead through Rank.ChargeCall,
+// which sleeps the calling goroutine — impossible from a task Step, which
+// runs in kernel context. Task state machines therefore model every charge
+// as an explicit sim.Proc.TaskSleep(rank.CallOverhead(), tag) step and then
+// invoke these NC entry points, which perform exactly the state transitions
+// of their blocking counterparts minus the charge. Splitting the call at
+// the charge keeps the virtual-time position of every packet send and
+// epoch-queue transition identical to the goroutine path, so observables
+// stay bit-identical between the two execution modes (the scale bench
+// parity test pins this).
+//
+// The correspondences, with C = one modeled charge:
+//
+//	Start(g)   [epoch mode] = StartBuildNC(g); C; EpochPushNC(ep); C; await done
+//	Post(g)    [epoch mode] = PostBuildNC(g);  C; EpochPushNC(ep); C; await done
+//	Complete() [epoch mode] = C; req=CompleteNC();  C; await req; check req.Err
+//	WaitEpoch()[epoch mode] = C; req=WaitEpochNC(); C; await req; check req.Err
+//	Start(g)   [vanilla]    = C; VanillaStartNC(g)
+//	Post(g)    [vanilla]    = C; VanillaPostNC(g)
+//	Complete() [vanilla]    = C; d=VanillaCompleteBeginNC(); d.Step until true
+//	WaitEpoch()[vanilla]    = C; d=VanillaWaitBeginNC();     d.Step until true
+//	Put(...)                = C; PutNC(...)
+//	IFlushAll()             = C; FlushAllNC()
+//	LockAll()  [flush mode] = C; req=LockAllNC(); C; await req; check req.Err
+//	UnlockAll()[flush mode] = C; st,req=UnlockAllBeginNC(); if st!=nil
+//	                          { C; req=UnlockAllFinishNC(st) }
+//	                          C; await req; check req.Err
+//	Quiesce()               = await Quiesced (no charge)
+//
+// "await pred" is one mpi.Rank.TaskAwait per Step until it reports true.
+
+// StartBuildNC creates a GATS access epoch toward group and registers it as
+// application-open, exactly as the first (pre-charge) half of Start/IStart
+// does. EpochPushNC must follow after the modeled charge.
+func (w *Window) StartBuildNC(group []int) *Epoch {
+	return w.buildStartEpoch(group)
+}
+
+// PostBuildNC is StartBuildNC's exposure-side twin (Post/IPost).
+func (w *Window) PostBuildNC(group []int) *Epoch {
+	return w.buildPostEpoch(group)
+}
+
+// EpochPushNC enters a built epoch into the deferred-epoch pipeline: the
+// post-charge half of Start/Post/IStart/IPost.
+func (w *Window) EpochPushNC(ep *Epoch) { w.pushEpochNC(ep) }
+
+// OpenReq returns the epoch's opening request (pre-completed for GATS
+// epochs); task callers await it to mirror the blocking call's Wait.
+func (ep *Epoch) OpenReq() *mpi.Request { return ep.openReq }
+
+// CompleteNC closes the current GATS access epoch: IComplete minus its
+// charge. The returned request completes when the epoch fully drains.
+func (w *Window) CompleteNC() *mpi.Request {
+	if w.mode == ModeVanilla {
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	ep := w.findOpenGATSAccess()
+	return w.closeAccessEpochNC(ep)
+}
+
+// WaitEpochNC closes the oldest open exposure epoch: IWait minus its
+// charge.
+func (w *Window) WaitEpochNC() *mpi.Request {
+	if w.mode == ModeVanilla {
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	return w.iWaitNC()
+}
+
+// VanillaStartNC is vanilla-mode Start minus its charge.
+func (w *Window) VanillaStartNC(group []int) {
+	if w.mode != ModeVanilla {
+		w.raisef("VanillaStartNC on a %s-mode window", w.mode)
+	}
+	w.vanillaStartNC(group)
+}
+
+// VanillaPostNC is vanilla-mode Post minus its charge.
+func (w *Window) VanillaPostNC(group []int) {
+	if w.mode != ModeVanilla {
+		w.raisef("VanillaPostNC on a %s-mode window", w.mode)
+	}
+	w.vanillaPostNC(group)
+}
+
+// VanillaCompleteBeginNC closes the open GATS access epoch at the
+// application level and returns the resumable drain: vanilla-mode Complete
+// minus its charge and its waits. Drive the drain with Step until true.
+func (w *Window) VanillaCompleteBeginNC() *VanillaDrain {
+	if w.mode != ModeVanilla {
+		w.raisef("VanillaCompleteBeginNC on a %s-mode window", w.mode)
+	}
+	return w.vanillaCompleteBegin()
+}
+
+// VanillaWaitBeginNC is vanilla-mode WaitEpoch minus charge and wait.
+func (w *Window) VanillaWaitBeginNC() *VanillaDrain {
+	if w.mode != ModeVanilla {
+		w.raisef("VanillaWaitBeginNC on a %s-mode window", w.mode)
+	}
+	return w.vanillaWaitBegin()
+}
+
+// PutNC is Put minus its charge.
+func (w *Window) PutNC(target int, off int64, data []byte, size int64) {
+	w.checkLive()
+	w.addOpNC(&rmaOp{ep: w.currentAccessEpoch(target), class: opPut,
+		target: target, off: off, data: data, size: size, dtype: TByte})
+}
+
+// FlushAllNC is IFlushAll minus its charge.
+func (w *Window) FlushAllNC() *mpi.Request { return w.newFlushNC(-1, false) }
+
+// LockAllNC is ILockAll minus its charge (flush and epoch modes).
+func (w *Window) LockAllNC() *mpi.Request {
+	if w.mode == ModeFlush {
+		return w.fm.acquireAllNC()
+	}
+	if w.mode == ModeVanilla {
+		w.raisef("nonblocking synchronizations are unavailable in vanilla mode")
+	}
+	ep := w.buildLockAllEpoch()
+	w.pushEpochNC(ep)
+	return ep.openReq
+}
+
+// UnlockAllState is the resumable middle of a flush-mode unlock_all, split
+// where the blocking call embeds a second charged IFlushAll.
+type UnlockAllState struct{ lo *lockOp }
+
+// UnlockAllBeginNC ends the lock_all hold and registers the release
+// protocol op: flush-mode IUnlockAll up to (excluding) its embedded
+// IFlushAll. A nil state with a completed request means the window was
+// already poisoned and there is nothing left to do.
+func (w *Window) UnlockAllBeginNC() (*UnlockAllState, *mpi.Request) {
+	if w.mode != ModeFlush {
+		w.raisef("UnlockAllBeginNC on a %s-mode window", w.mode)
+	}
+	lo, req := w.fm.releaseAllBegin()
+	if lo == nil {
+		return nil, req
+	}
+	return &UnlockAllState{lo: lo}, req
+}
+
+// UnlockAllFinishNC issues the uncharged window flush and chains the global
+// release behind it; the caller models the embedded IFlushAll's charge
+// before invoking it.
+func (w *Window) UnlockAllFinishNC(st *UnlockAllState) *mpi.Request {
+	return w.fm.releaseAllFinish(st.lo, w.FlushAllNC())
+}

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/sim"
+
 // Vanilla mode reproduces the MVAPICH 2-1.9 behaviour the paper evaluates
 // against (Section VIII):
 //
@@ -24,6 +26,11 @@ func (w *Window) vanillaActivate(ep *Epoch) {
 // transfers stay recorded until Complete.
 func (w *Window) vanillaStart(group []int) {
 	w.rank.ChargeCall()
+	w.vanillaStartNC(group)
+}
+
+// vanillaStartNC is vanillaStart after its ChargeCall (task API).
+func (w *Window) vanillaStartNC(group []int) {
 	ep := newEpoch(w, EpochAccess)
 	ep.setTargets(append([]int(nil), group...))
 	w.openAccess = append(w.openAccess, ep)
@@ -34,39 +41,119 @@ func (w *Window) vanillaStart(group []int) {
 // every target's post, then issue everything, wait for the data, notify.
 func (w *Window) vanillaComplete() {
 	w.rank.ChargeCall()
+	w.vanillaRun(w.vanillaCompleteBegin())
+}
+
+// Vanilla drain stages (VanillaDrain.stage).
+const (
+	drainGrants = iota // waiting for every target's grant
+	drainData          // transfers issued; waiting for remote completion
+	drainExpose        // exposure side: waiting for every origin's done
+)
+
+// VanillaDrain is the blocking tail of a vanilla-mode closing
+// synchronization, reified so task-mode ranks can resume it across Steps.
+// Each stage is one waitUntil of the original sequence; Step advances
+// through as many stages as current progress allows and arms the rank's
+// Wake signal when it must wait, exactly like one unrolled waitUntil
+// iteration per stage (mpi.Rank.TaskAwait).
+type VanillaDrain struct {
+	w       *Window
+	ep      *Epoch
+	targets []int // access targets to drain; unused in drainExpose
+	stage   int
+}
+
+// vanillaCompleteBegin is vanillaComplete up to its first wait: the open
+// GATS access epoch is closed at the application level and handed to the
+// drain.
+func (w *Window) vanillaCompleteBegin() *VanillaDrain {
 	ep := w.findOpenGATSAccess()
 	w.emitEpoch(traceClose, ep)
 	w.removeOpenAccess(ep)
-	w.vanillaDrain(ep, ep.targets)
+	return &VanillaDrain{w: w, ep: ep, targets: ep.targets, stage: drainGrants}
 }
 
-// vanillaDrain runs the common blocking close sequence over the given
-// access targets.
-func (w *Window) vanillaDrain(ep *Epoch, targets []int) {
-	r := w.rank
-	r.WaitUntil("vanilla-grants", func() bool {
-		for _, t := range targets {
-			if !ep.granted(t) {
-				return false
-			}
-		}
-		return true
-	})
-	w.eng.issueReady(ep)
-	r.WaitUntil("vanilla-data", func() bool {
-		return ep.pendingAll == 0 && len(ep.recorded) == 0
-	})
+// vanillaWaitBegin is vanillaWaitEpoch up to its wait.
+func (w *Window) vanillaWaitBegin() *VanillaDrain {
+	ep := w.takeOldestExposure()
+	w.emitEpoch(traceClose, ep)
 	ep.closedApp = true
-	for _, t := range targets {
-		ep.maybePostDone(t)
+	return &VanillaDrain{w: w, ep: ep, stage: drainExpose}
+}
+
+// Step advances the drain and reports completion. While false, the calling
+// proc has been armed on (or, for goroutine procs, woken through) the
+// rank's Wake signal. The scheduling sequence is identical to the blocking
+// form: each TaskAwait is one Progress-sweep-then-test, and a stage
+// transition falls through into the next stage's sweep just as consecutive
+// waitUntil calls do.
+func (d *VanillaDrain) Step(p *sim.Proc) bool {
+	w, ep, r := d.w, d.ep, d.w.rank
+	if d.stage == drainGrants {
+		ok := r.TaskAwait(p, "vanilla-grants", func() bool {
+			for _, t := range d.targets {
+				if !ep.granted(t) {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		w.eng.issueReady(ep)
+		d.stage = drainData
+	}
+	if d.stage == drainData {
+		ok := r.TaskAwait(p, "vanilla-data", func() bool {
+			return ep.pendingAll == 0 && len(ep.recorded) == 0
+		})
+		if !ok {
+			return false
+		}
+		ep.closedApp = true
+		for _, t := range d.targets {
+			ep.maybePostDone(t)
+		}
+		ep.maybeComplete()
+		return true
+	}
+	if !r.TaskAwait(p, "vanilla-wait", ep.exposureSideDone) {
+		return false
 	}
 	ep.maybeComplete()
+	return true
+}
+
+// vanillaRun drives a drain to completion on the blocking (goroutine) path.
+// TaskAwait's Wake.Wait parks the goroutine inline, so the loop is the
+// original waitUntil sequence; the single TimeInMPI span equals the sum of
+// the original per-wait spans because the work between stages advances no
+// virtual time.
+func (w *Window) vanillaRun(d *VanillaDrain) {
+	r := w.rank
+	start := r.Now()
+	for !d.Step(r.Proc) {
+	}
+	r.TimeInMPI += r.Now() - start
+}
+
+// vanillaDrain runs the blocking close sequence over the given access
+// targets (fence reuses it with the fence epoch's full target set).
+func (w *Window) vanillaDrain(ep *Epoch, targets []int) {
+	w.vanillaRun(&VanillaDrain{w: w, ep: ep, targets: targets, stage: drainGrants})
 }
 
 // vanillaPost opens an exposure epoch (post notifications go out at once,
 // as in every modern MPI library).
 func (w *Window) vanillaPost(group []int) {
 	w.rank.ChargeCall()
+	w.vanillaPostNC(group)
+}
+
+// vanillaPostNC is vanillaPost after its ChargeCall (task API).
+func (w *Window) vanillaPostNC(group []int) {
 	ep := newEpoch(w, EpochExposure)
 	ep.origins = append([]int(nil), group...)
 	w.openExposure = append(w.openExposure, ep)
@@ -76,11 +163,7 @@ func (w *Window) vanillaPost(group []int) {
 // vanillaWaitEpoch blocks until every origin's done packet has arrived.
 func (w *Window) vanillaWaitEpoch() {
 	w.rank.ChargeCall()
-	ep := w.takeOldestExposure()
-	w.emitEpoch(traceClose, ep)
-	ep.closedApp = true
-	w.rank.WaitUntil("vanilla-wait", func() bool { return ep.exposureSideDone() })
-	ep.maybeComplete()
+	w.vanillaRun(w.vanillaWaitBegin())
 }
 
 // vanillaFence closes the open fence epoch with the staged blocking
@@ -139,7 +222,7 @@ func (w *Window) vanillaLockActivate(ep *Epoch) {
 	targets := ep.accessTargets()
 	ep.ensureAccessMaps(len(targets))
 	for _, t := range targets {
-		ep.accessID[t] = w.peers[t].nextAccessID()
+		ep.accessID[t] = w.peer(t).nextAccessID()
 		w.eng.sendLockReq(w, t, ep.shared)
 	}
 }

@@ -17,8 +17,10 @@ type Window struct {
 	size int64
 	buf  []byte // nil for shape-only windows
 
-	// ω-triples + done counters, one per peer (O(1) matching state).
-	peers []*peerCounters
+	// ω-triples + done counters per peer (O(1) matching state): dense
+	// values for small worlds, arena-backed sparse entries at scale so a
+	// 64k-rank world is not 64k² counter slots. Always via w.peer(i).
+	peers peerTable
 
 	// Epoch bookkeeping.
 	nextEpochSeq int64
@@ -119,6 +121,17 @@ func (w *Window) removeOpenAccess(ep *Epoch) {
 // pushEpoch registers a newly opened epoch with the deferred-epoch queue
 // and triggers an activation scan (the epoch may activate immediately).
 func (w *Window) pushEpoch(ep *Epoch) {
+	w.pushEpochCharged(ep, true)
+}
+
+// pushEpochNC is pushEpoch minus the ChargeCall, for task-mode callers that
+// model the call overhead as an explicit TaskSleep before invoking the
+// no-charge API (see task_api.go).
+func (w *Window) pushEpochNC(ep *Epoch) {
+	w.pushEpochCharged(ep, false)
+}
+
+func (w *Window) pushEpochCharged(ep *Epoch, charge bool) {
 	w.checkLive()
 	if w.mode == ModeFlush {
 		w.raisef("%s synchronization is unavailable in flush mode (epochless window)", ep.kind)
@@ -128,12 +141,18 @@ func (w *Window) pushEpoch(ep *Epoch) {
 		// pipeline is poisoned and new epochs would hang behind it.
 		panic(w.err)
 	}
-	w.rank.ChargeCall()
+	if charge {
+		w.rank.ChargeCall()
+	}
 	w.emitEpoch(traceOpen, ep)
 	w.epochs = append(w.epochs, ep)
 	w.dirty = true
 	w.scanActivate()
 }
+
+// peer returns the counter triple toward rank i, materializing it on first
+// touch in sparse (large-world) tables.
+func (w *Window) peer(i int) *peerCounters { return w.peers.get(i) }
 
 // onGrant reacts to a grant (exposure/lock) notification from peer src.
 // Recorded transfers of already-activated epochs are issued right here, in
@@ -259,7 +278,7 @@ func (w *Window) activate(ep *Epoch) {
 	case EpochAccess:
 		ep.ensureAccessMaps(len(ep.targets))
 		for _, t := range ep.targets {
-			ep.accessID[t] = w.peers[t].nextAccessID()
+			ep.accessID[t] = w.peer(t).nextAccessID()
 		}
 	case EpochExposure:
 		ep.ensureExposeMap(len(ep.origins))
@@ -270,7 +289,7 @@ func (w *Window) activate(ep *Epoch) {
 		ep.ensureAccessMaps(w.n)
 		ep.ensureExposeMap(w.n)
 		for t := 0; t < w.n; t++ {
-			ep.accessID[t] = w.peers[t].nextAccessID()
+			ep.accessID[t] = w.peer(t).nextAccessID()
 		}
 		for o := 0; o < w.n; o++ {
 			w.grantTo(ep, o)
@@ -282,12 +301,12 @@ func (w *Window) activate(ep *Epoch) {
 			// NOCHECK: no matching, no request — the caller vouches.
 			break
 		}
-		ep.accessID[t] = w.peers[t].nextAccessID()
+		ep.accessID[t] = w.peer(t).nextAccessID()
 		w.eng.sendLockReq(w, t, ep.shared)
 	case EpochLockAll:
 		ep.ensureAccessMaps(w.n)
 		for t := 0; t < w.n; t++ {
-			ep.accessID[t] = w.peers[t].nextAccessID()
+			ep.accessID[t] = w.peer(t).nextAccessID()
 			w.eng.sendLockReq(w, t, true)
 		}
 	}
@@ -305,7 +324,7 @@ func (w *Window) activate(ep *Epoch) {
 // grantTo assigns the per-origin exposure id and sends the one-sided grant
 // notification (remote g-counter update) to origin o.
 func (w *Window) grantTo(ep *Epoch, o int) {
-	id := w.peers[o].nextExposureID()
+	id := w.peer(o).nextExposureID()
 	ep.exposeID[o] = id
 	w.eng.sendGrant(w, o, id)
 }
@@ -317,14 +336,16 @@ func (w *Window) grantTo(ep *Epoch, o int) {
 // operation is in flight (an aborted window is quiescent by definition —
 // the abort already unwound everything).
 func (w *Window) Quiesce() {
+	w.rank.WaitUntil("win-quiesce", w.Quiesced)
+}
+
+// Quiesced is Quiesce's predicate, evaluated once: every epoch (or, in
+// flush mode, every op and lock) of this window has completed internally.
+// Task-mode ranks poll it through TaskAwait instead of blocking.
+func (w *Window) Quiesced() bool {
 	if w.mode == ModeFlush {
-		w.rank.WaitUntil("win-quiesce", func() bool {
-			return w.err != nil || (len(w.liveOps) == 0 && w.fm.idle())
-		})
-		return
+		return w.err != nil || (len(w.liveOps) == 0 && w.fm.idle())
 	}
-	w.rank.WaitUntil("win-quiesce", func() bool {
-		w.pruneCompleted()
-		return len(w.epochs) == 0
-	})
+	w.pruneCompleted()
+	return len(w.epochs) == 0
 }

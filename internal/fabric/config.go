@@ -79,9 +79,24 @@ type Config struct {
 // schedules (zero or negative wire times), so construction refuses them;
 // fields where zero means "disabled" (CreditsPerPeer, RegCacheEntries,
 // ProcsPerNode, AckLatency, ...) only reject negatives.
+// RankBits is the width of the rank-id fields packed into control-message
+// words (internal/core packs kind|win|src|value into one uint64) and the
+// reason MaxRanks exists: a world larger than 1<<RankBits would silently
+// alias rank ids inside packet keys.
+const RankBits = 18
+
+// MaxRanks is the largest world size the fabric and the layers above it can
+// address. Validate and mpi.NewWorld both reject anything larger with a
+// contextual error instead of corrupting keys at runtime.
+const MaxRanks = 1 << RankBits
+
 func (c Config) Validate(n int) error {
 	if n <= 0 {
 		return fmt.Errorf("network needs at least one rank, got %d", n)
+	}
+	if n > MaxRanks {
+		return fmt.Errorf("world size %d exceeds the %d-rank addressing limit (rank ids are packed into %d-bit packet-key fields)",
+			n, MaxRanks, RankBits)
 	}
 	if c.Alpha <= 0 {
 		return fmt.Errorf("non-positive internode base latency Alpha %d ns", c.Alpha)

@@ -181,7 +181,7 @@ func TestUnreachableDeclaration(t *testing.T) {
 	if nw.PeerUnreachable(0, 2) {
 		t.Error("healthy peer 2 reported unreachable")
 	}
-	if c := nw.NIC(0).credits[1]; c != 0 {
+	if c := nw.NIC(0).CreditsToward(1); c != 0 {
 		t.Errorf("credits toward dead peer not reconciled: %d outstanding", c)
 	}
 	if healthy != 10 {

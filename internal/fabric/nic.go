@@ -37,12 +37,15 @@ type NIC struct {
 	queue []*desc
 	busy  bool
 
-	// credits[dst] counts outstanding unacknowledged packets toward dst;
-	// skip[dst] == skipGen marks dst as credit-stalled within the current
-	// tryStart scan (a generation stamp avoids clearing — and avoids the
-	// per-scan map the old implementation allocated).
-	credits  []int
-	skip     []uint64
+	// peers holds per-destination flow-control state: credits counts
+	// outstanding unacknowledged packets toward the peer, and skip ==
+	// skipGen marks it credit-stalled within the current tryStart scan (a
+	// generation stamp avoids clearing — and avoids the per-scan map the
+	// old implementation allocated). Dense below nicPeerDenseMax ranks;
+	// lazily materialized above it, because per-NIC O(n) slices are O(n²)
+	// across the world and a rank at scale only ever sends to its O(log n)
+	// partners.
+	peers    nicPeerTable
 	skipGen  uint64
 	descFree []*desc
 
@@ -59,10 +62,59 @@ func newNIC(nw *Network, rank, n int, k *sim.Kernel) *NIC {
 		nw:         nw,
 		rank:       rank,
 		k:          k,
-		credits:    make([]int, n),
-		skip:       make([]uint64, n),
+		peers:      newNicPeerTable(n),
 		creditInit: nw.Cfg.CreditsPerPeer,
 	}
+}
+
+// nicPeer is one destination's flow-control state; its zero value (no
+// outstanding credits, never skip-stamped) is a valid fresh entry, so
+// sparse tables behave identically to dense ones.
+type nicPeer struct {
+	credits int
+	skip    uint64
+}
+
+// nicPeerDenseMax is the world size up to which a NIC keeps one dense
+// per-destination slice (one allocation, no hashing on the hot path).
+const nicPeerDenseMax = 2048
+
+// nicPeerChunk sizes the slab entries are drawn from at scale: 64 entries
+// x 16 B = 1 KiB, amortizing allocation without pre-paying for peers the
+// rank never addresses.
+const nicPeerChunk = 64
+
+// nicPeerTable resolves per-destination flow-control state: a dense value
+// slice for small worlds, a lazily-populated chunk-backed map above.
+type nicPeerTable struct {
+	dense  []nicPeer
+	sparse map[int32]*nicPeer
+	chunk  []nicPeer
+}
+
+func newNicPeerTable(n int) nicPeerTable {
+	if n <= nicPeerDenseMax {
+		return nicPeerTable{dense: make([]nicPeer, n)}
+	}
+	return nicPeerTable{sparse: make(map[int32]*nicPeer, 16)}
+}
+
+// get returns the state toward peer i, materializing a zero entry on first
+// touch.
+func (t *nicPeerTable) get(i int) *nicPeer {
+	if t.dense != nil {
+		return &t.dense[i]
+	}
+	c := t.sparse[int32(i)]
+	if c == nil {
+		if len(t.chunk) == 0 {
+			t.chunk = make([]nicPeer, nicPeerChunk)
+		}
+		c = &t.chunk[0]
+		t.chunk = t.chunk[1:]
+		t.sparse[int32(i)] = c
+	}
+	return c
 }
 
 // QueueLen returns the number of descriptors waiting for the wire.
@@ -110,9 +162,21 @@ func regionKeyFor(p *Packet) uint64 {
 	return uint64(p.Arg[3])
 }
 
+// CreditsToward reports the outstanding unacknowledged packets toward dst
+// without materializing sparse state — diagnostics and tests only.
+func (n *NIC) CreditsToward(dst int) int {
+	if n.peers.dense != nil {
+		return n.peers.dense[dst].credits
+	}
+	if c := n.peers.sparse[int32(dst)]; c != nil {
+		return c.credits
+	}
+	return 0
+}
+
 // hasCredit reports whether a packet toward dst may start transmission.
 func (n *NIC) hasCredit(dst int) bool {
-	return n.creditInit <= 0 || n.credits[dst] < n.creditInit
+	return n.creditInit <= 0 || n.peers.get(dst).credits < n.creditInit
 }
 
 // tryStart starts transmitting the oldest descriptor whose peer has
@@ -125,12 +189,12 @@ func (n *NIC) tryStart() {
 	n.skipGen++
 	gen := n.skipGen
 	for i, d := range n.queue {
-		dst := d.dst
-		if n.skip[dst] == gen {
+		pc := n.peers.get(d.dst)
+		if pc.skip == gen {
 			continue
 		}
-		if !n.hasCredit(dst) {
-			n.skip[dst] = gen
+		if n.creditInit > 0 && pc.credits >= n.creditInit {
+			pc.skip = gen
 			continue
 		}
 		copy(n.queue[i:], n.queue[i+1:])
@@ -147,7 +211,7 @@ func (n *NIC) tryStart() {
 func (n *NIC) transmit(d *desc) {
 	n.busy = true
 	if n.creditInit > 0 {
-		n.credits[d.dst]++
+		n.peers.get(d.dst).credits++
 	}
 	n.Sent++
 	n.BytesSent += d.pkt.Size
@@ -218,7 +282,7 @@ func pktDeliver(x any) {
 func descCreditReturn(x any) {
 	d := x.(*desc)
 	n := d.n
-	n.credits[d.dst]--
+	n.peers.get(d.dst).credits--
 	n.freeDesc(d)
 	n.tryStart()
 }

@@ -60,7 +60,7 @@ func (fs *faultState) sendReliable(d *desc) {
 		// Peer already declared unreachable: reconcile the credit charged at
 		// transmit and drop the packet on the floor.
 		if n.creditInit > 0 {
-			n.credits[d.dst]--
+			n.peers.get(d.dst).credits--
 		}
 		fs.stats[src].Drops++
 		if orig.pooled {
@@ -147,7 +147,7 @@ func (l *relLink) ackTo(upTo uint64) {
 	for i := 0; i < n; i++ {
 		l.unacked[i] = nil
 		if nic.creditInit > 0 {
-			nic.credits[l.dst]--
+			nic.peers.get(l.dst).credits--
 		}
 	}
 	l.unacked = append(l.unacked[:0], l.unacked[n:]...)
@@ -225,7 +225,7 @@ func (l *relLink) declareUnreachable() {
 	l.timer.Stop()
 	nic := fs.nw.nics[l.src]
 	if nic.creditInit > 0 {
-		nic.credits[l.dst] -= len(l.unacked)
+		nic.peers.get(l.dst).credits -= len(l.unacked)
 	}
 	for i := range l.unacked {
 		l.unacked[i] = nil

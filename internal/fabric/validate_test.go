@@ -89,3 +89,22 @@ func TestValidateRejectsNonPositiveRanks(t *testing.T) {
 	}()
 	NewNetwork(sim.NewKernel(), 0, DefaultConfig())
 }
+// TestValidateWorldSizeCeiling pins the rank-addressing limit: MaxRanks is
+// accepted, one past it is refused naming the packed-field width — beyond
+// it rank ids overflow the RankBits-wide packet-key fields and would
+// silently corrupt routing.
+func TestValidateWorldSizeCeiling(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(MaxRanks); err != nil {
+		t.Fatalf("Validate(MaxRanks=%d) = %v, want nil", MaxRanks, err)
+	}
+	err := cfg.Validate(MaxRanks + 1)
+	if err == nil {
+		t.Fatalf("Validate(%d) accepted a world past the addressing limit", MaxRanks+1)
+	}
+	for _, frag := range []string{"addressing limit", "18-bit"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package mpi
 
-import "repro/internal/fabric"
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
 
 // barrierState tracks dissemination-barrier tokens. Tokens are keyed by
 // (generation, round) so overlapping generations from fast peers are safe.
@@ -46,4 +49,55 @@ func (r *Rank) Barrier() {
 		rd := round
 		r.waitUntil("barrier", func() bool { return r.barrier.take(gen, rd) })
 	}
+}
+
+// TaskBarrier is the resumable form of Barrier for task-mode ranks: the
+// dissemination rounds unrolled across Steps. The caller models Barrier's
+// ChargeCall with an explicit TaskSleep(CallOverhead) BEFORE the first
+// Step, matching the blocking call's charge-then-advance order; it then
+// calls Step until it returns true, returning from the task's Step whenever
+// Step returns false.
+type TaskBarrier struct {
+	r     *Rank
+	gen   int64
+	round int64
+	dist  int
+	sent  bool
+}
+
+// NewTaskBarrier opens a new barrier generation (mirroring Barrier's gen
+// advance after its charge) and returns the resumable rounds.
+func (r *Rank) NewTaskBarrier() *TaskBarrier {
+	b := &TaskBarrier{r: r, dist: 1}
+	if r.Size() > 1 {
+		r.barrier.gen++
+		b.gen = r.barrier.gen
+	}
+	return b
+}
+
+// Step advances the dissemination rounds as far as token arrivals allow and
+// reports whether the barrier is complete. While false, the calling task
+// has been armed on the rank's Wake signal and must return from its Step.
+func (b *TaskBarrier) Step(p *sim.Proc) bool {
+	r := b.r
+	n := r.Size()
+	for b.dist < n {
+		if !b.sent {
+			dst := (r.ID + b.dist) % n
+			r.world.Net.Send(&fabric.Packet{
+				Src: r.ID, Dst: dst, Kind: fabric.KindBarrier, Size: 8,
+				Arg: [4]int64{b.gen, b.round, 0, 0},
+			})
+			b.sent = true
+		}
+		gen, rd := b.gen, b.round
+		if !r.TaskAwait(p, "barrier", func() bool { return r.barrier.take(gen, rd) }) {
+			return false
+		}
+		b.round++
+		b.dist *= 2
+		b.sent = false
+	}
+	return true
 }

@@ -116,6 +116,29 @@ func (r *Rank) waitUntil(tag string, pred func() bool) {
 // implementing blocking RMA synchronizations.
 func (r *Rank) WaitUntil(tag string, pred func() bool) { r.waitUntil(tag, pred) }
 
+// TaskAwait is one iteration of waitUntil for task-mode ranks (sim.Task
+// bodies): it sweeps the progress engines, returns true if pred already
+// holds, and otherwise arms the rank's Wake signal and returns false — the
+// task's Step must then return and re-call TaskAwait on its next wake.
+// Scheduling-wise this is exactly the blocking waitUntil loop unrolled
+// across Steps. TimeInMPI is not accounted for task ranks: the state
+// machine has no single blocking span to attribute, and the scale paths
+// that run on tasks do not consume the Fig 13 decomposition.
+func (r *Rank) TaskAwait(p *sim.Proc, tag string, pred func() bool) bool {
+	r.Progress()
+	if pred() {
+		return true
+	}
+	r.Wake.Wait(p, tag)
+	return false
+}
+
+// CallOverhead returns the configured per-MPI-call CPU cost. Task-mode rank
+// programs model each ChargeCall of the blocking API as an explicit
+// TaskSleep of this duration (TaskSleep ignores non-positive values exactly
+// as ChargeCall does).
+func (r *Rank) CallOverhead() sim.Time { return r.world.Net.Cfg.CallOverhead }
+
 // Wait blocks until every given request has completed.
 func (r *Rank) Wait(reqs ...*Request) {
 	r.ChargeCall()

@@ -40,6 +40,15 @@ func NewWorld(n int, cfg fabric.Config) *World {
 // node count. Every observable of the run is bit-identical across shard
 // counts, including serial.
 func NewWorldShards(n int, cfg fabric.Config, shards int) *World {
+	// Reject unaddressable worlds before allocating anything: beyond
+	// fabric.MaxRanks, rank ids overflow the 18-bit source fields packed
+	// into control-message keys (internal/core) and would silently corrupt
+	// packet routing. fabric.Config.Validate enforces the same ceiling, but
+	// the panic here names the layer the caller actually used.
+	if n > fabric.MaxRanks {
+		panic(fmt.Sprintf("mpi: world size %d exceeds the %d-rank addressing limit (rank ids are packed into %d-bit packet-key fields)",
+			n, fabric.MaxRanks, fabric.RankBits))
+	}
 	w := &World{}
 	if shards > 1 {
 		sh := sim.NewShards(shardAssign(n, cfg, shards))
@@ -167,12 +176,40 @@ func (w *World) Launch(i int, body func(*Rank)) {
 	r.Proc = r.k.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) { body(r) })
 }
 
+// LaunchTask spawns rank i's application as a resumable state machine
+// (sim.Task) on the rank's kernel: no goroutine, no stack — the fast path
+// for worlds of many thousands of ranks.
+func (w *World) LaunchTask(i int, t sim.Task) {
+	r := w.ranks[i]
+	if r.Proc != nil {
+		panic(fmt.Sprintf("mpi: rank %d launched twice", i))
+	}
+	r.Proc = r.k.SpawnTask(fmt.Sprintf("rank%d", i), t)
+}
+
 // Run launches body on every rank and executes the simulation to
 // completion. It returns the kernel error, if any (panic or deadlock).
 func (w *World) Run(body func(*Rank)) error {
 	for i := range w.ranks {
 		w.Launch(i, body)
 	}
+	return w.RunLaunched()
+}
+
+// RunTasks launches mk(rank) on every rank as a spawn-free state machine
+// and executes the simulation to completion. Scheduling is identical to Run
+// with a blocking body making the same calls at the same virtual times, so
+// observables are bit-identical across the two forms.
+func (w *World) RunTasks(mk func(r *Rank) sim.Task) error {
+	for i, r := range w.ranks {
+		w.LaunchTask(i, mk(r))
+	}
+	return w.RunLaunched()
+}
+
+// RunLaunched executes the simulation with whatever mix of Launch /
+// LaunchTask ranks has been registered.
+func (w *World) RunLaunched() error {
 	if w.sh != nil {
 		return w.sh.Run()
 	}

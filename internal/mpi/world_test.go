@@ -1,0 +1,31 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// TestNewWorldRejectsOversizedJob pins the pre-allocation guard: a world
+// past fabric.MaxRanks must panic with a message naming the packed-field
+// limit, before any per-rank state is built (an unaddressable 300k-rank
+// world must not first allocate 300k ranks).
+func TestNewWorldRejectsOversizedJob(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewWorld accepted a world past the addressing limit")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		for _, frag := range []string{"addressing limit", "18-bit"} {
+			if !strings.Contains(msg, frag) {
+				t.Fatalf("panic %q does not mention %q", msg, frag)
+			}
+		}
+	}()
+	NewWorld(fabric.MaxRanks+1, fabric.DefaultConfig())
+}

@@ -1,9 +1,13 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// Every simulated MPI rank runs as a goroutine (a Proc), but the kernel
-// enforces strictly sequential execution: exactly one goroutine — either the
-// kernel loop or a single Proc — runs at any instant, and control is handed
-// over explicitly through per-proc channels. Combined with a totally ordered
+// A simulated MPI rank is a Proc: either a goroutine with blocking calls
+// (Spawn) or a spawn-free resumable state machine (SpawnTask) stepped in
+// kernel context. Goroutine procs are lazy and transient — the goroutine
+// exists only between the start event and body return — and hand control
+// to and from the kernel over a single unbuffered token channel, one
+// rendezvous per park and one per resume. Either way the kernel enforces
+// strictly sequential execution: exactly one goroutine — the kernel loop or
+// a single Proc — runs at any instant. Combined with a totally ordered
 // event queue (time, then insertion sequence) this makes every simulation
 // bit-for-bit reproducible.
 //
@@ -89,7 +93,6 @@ type Kernel struct {
 	now     Time
 	heap    []event
 	seq     uint64
-	yield   chan struct{} // handoff from the active proc back to the kernel
 	procs   []*Proc
 	started bool
 	fail    error // first panic or kernel-level error observed
@@ -120,12 +123,7 @@ type Kernel struct {
 }
 
 // NewKernel returns an empty simulation kernel at virtual time zero.
-func NewKernel() *Kernel {
-	// The yield channel is buffered so a parking proc hands the token back
-	// without waiting for the kernel goroutine to reach its receive — one
-	// scheduler wakeup per handoff instead of two.
-	return &Kernel{yield: make(chan struct{}, 1)}
-}
+func NewKernel() *Kernel { return new(Kernel) }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -276,46 +274,126 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 }
 
 // SpawnAt registers a new process whose body starts at virtual time t.
+// Nothing is allocated for the goroutine until the start event fires; until
+// then the proc reports "not yet started" in diagnostics.
 func (k *Kernel) SpawnAt(t Time, name string, body func(*Proc)) *Proc {
 	p := &Proc{
-		k:      k,
-		Name:   name,
-		ID:     len(k.procs),
-		resume: make(chan struct{}, 1),
-		body:   body,
+		k:       k,
+		Name:    name,
+		ID:      len(k.procs),
+		waitTag: waitTagNotStarted,
+		body:    body,
 	}
 	k.procs = append(k.procs, p)
 	k.AtCall(t, startProc, p)
 	return p
 }
 
-// startProc is the shared, capture-free start event of SpawnAt: it launches
-// the proc's goroutine and hands it the execution token. The body reference
-// is dropped once consumed so the proc does not pin its closure for the rest
-// of the run.
-func startProc(x any) {
-	p := x.(*Proc)
-	body := p.body
-	p.body = nil
-	go p.run(body)
-	p.k.switchTo(p)
+// SpawnTask registers a task proc whose state machine is first stepped at
+// the current virtual time. See Task for the Step contract.
+func (k *Kernel) SpawnTask(name string, t Task) *Proc {
+	return k.SpawnTaskAt(k.now, name, t)
 }
 
-// switchTo hands the execution token to p and blocks until p yields it back.
-// Must only be called from kernel context (inside an event fn). Both
-// channels are buffered, so the send completes immediately and the kernel
-// parks exactly once, on the yield receive; mutual exclusion still holds
-// because the kernel touches no shared state between the two operations.
+// SpawnTaskAt registers a task proc first stepped at virtual time t.
+func (k *Kernel) SpawnTaskAt(at Time, name string, t Task) *Proc {
+	p := &Proc{
+		k:       k,
+		Name:    name,
+		ID:      len(k.procs),
+		waitTag: waitTagNotStarted,
+		task:    t,
+	}
+	k.procs = append(k.procs, p)
+	k.AtCall(at, startProc, p)
+	return p
+}
+
+// waitTagNotStarted is the wait tag of a spawned proc whose start event has
+// not fired yet, so deadlock reports on worlds that hang before launch name
+// the real state instead of an empty site.
+const waitTagNotStarted = "not yet started"
+
+// startProc is the shared, capture-free start event of SpawnAt/SpawnTaskAt.
+// For a goroutine proc it creates the token channel, launches the goroutine
+// (lazy spawn: this is the first point any stack exists) and blocks until
+// the body parks or returns. For a task proc it runs the first Step inline.
+// The body reference is dropped once consumed so the proc does not pin its
+// closure for the rest of the run.
+func startProc(x any) {
+	p := x.(*Proc)
+	p.waitTag = ""
+	if p.task != nil {
+		p.k.stepTask(p)
+		return
+	}
+	body := p.body
+	p.body = nil
+	p.tok = make(chan struct{})
+	go p.run(body)
+	<-p.tok
+}
+
+// switchTo hands the execution token to p and blocks until p yields it
+// back. Must only be called from kernel context (inside an event fn). The
+// token channel is unbuffered and strictly alternating — kernel send, proc
+// receive, proc send, kernel receive — so each handoff is one rendezvous
+// and the runtime can switch directly between the two goroutines; mutual
+// exclusion holds because whoever is blocked on the channel touches no
+// shared state until its counterpart's operation completes.
 func (k *Kernel) switchTo(p *Proc) {
-	p.resume <- struct{}{}
-	<-k.yield
+	p.tok <- struct{}{}
+	<-p.tok
 }
 
 // wakeProc is the shared, capture-free resume callback used by Sleep, Yield
-// and Signal.Fire: scheduling it through AtCall costs no allocation.
+// and Signal.Fire: scheduling it through AtCall costs no allocation. Task
+// procs are stepped inline; goroutine procs get the token.
 func wakeProc(x any) {
 	p := x.(*Proc)
+	if p.finished {
+		return
+	}
+	if p.task != nil {
+		p.k.stepTask(p)
+		return
+	}
 	p.k.switchTo(p)
+}
+
+// stepTask runs one Step of a task proc in kernel context and enforces the
+// Task contract: the Step must have armed a wake source or finished the
+// proc. Panics inside Step abort the run with the same error shape as a
+// goroutine proc's panic, so failures are identical across the two forms.
+func (k *Kernel) stepTask(p *Proc) {
+	if p.finished {
+		return
+	}
+	p.armed = false
+	p.clearWait()
+	p.runStep()
+	if !p.finished && !p.armed {
+		k.abort(fmt.Errorf("sim: task %q returned from Step without arming a wake or exiting", p.Name))
+		p.finished = true
+	}
+	if p.finished {
+		p.task = nil // release the state machine
+	}
+}
+
+// runStep invokes Step with the panic recovery of Proc.run.
+func (p *Proc) runStep() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.finished = true
+			if err, ok := r.(error); ok {
+				p.k.abort(fmt.Errorf("sim: proc %q panicked: %w", p.Name, err))
+			} else {
+				p.k.abort(fmt.Errorf("sim: proc %q panicked: %v", p.Name, r))
+			}
+		}
+	}()
+	p.task.Step(p)
 }
 
 // SetWatchdog arms the kernel's hang protection: the run aborts with a

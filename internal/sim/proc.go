@@ -6,33 +6,78 @@ import (
 	"strings"
 )
 
-// Proc is one simulated process (e.g. an MPI rank). Its body function runs
-// in a dedicated goroutine, but only while the proc holds the kernel's
-// execution token, so proc code never races with other procs or with event
-// callbacks.
+// Proc is one simulated process (e.g. an MPI rank). A proc executes in one
+// of two modes, chosen at spawn time:
+//
+//   - Spawn/SpawnAt: the body function runs in a dedicated goroutine with
+//     blocking Sleep/Wait calls. The goroutine is lazy — created only when
+//     the start event fires — and transient — it exits when the body
+//     returns, so a finished proc costs no stack.
+//   - SpawnTask/SpawnTaskAt: the body is a resumable state machine (Task)
+//     stepped in kernel context, so the proc never owns a goroutine or a
+//     stack at all. This is the fast path large worlds run on.
+//
+// Either way the kernel enforces strictly sequential execution: exactly one
+// goroutine — the kernel loop or a single proc — runs at any instant, so
+// proc code never races with other procs or with event callbacks.
 type Proc struct {
 	k        *Kernel
 	Name     string
 	ID       int
-	resume   chan struct{}
 	finished bool
 	waitTag  string // human-readable description of what the proc waits on
 
-	// waitPCs holds the program counters captured at the current park when
-	// the kernel runs with diagnostics enabled; formatted lazily by waitSite
-	// only when a report is built.
-	waitPCs  [16]uintptr
-	waitPCsN int
+	// tok is the execution token for goroutine-mode procs: a single
+	// unbuffered channel carrying strictly alternating kernel->proc and
+	// proc->kernel handoffs, so each direction change is one rendezvous.
+	// nil until the start event fires, and always nil for task procs.
+	tok chan struct{}
 
 	// body holds the application function between SpawnAt and the start
-	// event (startProc), so spawning schedules no closure.
+	// event (startProc), so spawning schedules no closure and spawning a
+	// proc that a test never starts costs no goroutine.
 	body func(*Proc)
+
+	// task is the state machine of a SpawnTask proc; nil for goroutine
+	// procs and released when the task finishes. armed records that the
+	// current Step registered exactly one wake source (TaskSleep, TaskYield
+	// or Signal.Wait) before returning.
+	task  Task
+	armed bool
+
+	// diag points at the blocking-call-site capture for the current park,
+	// allocated lazily and only when the kernel runs with diagnostics
+	// enabled — idle ranks at scale carry one pointer, not a PC array.
+	diag *procDiag
 }
 
-// run is the goroutine entry point. It waits for the first resume, executes
-// the body, and always returns the execution token to the kernel.
+// procDiag is the compact wait-diagnostic state behind the kernel's diag
+// flag: the program counters captured at the current park, formatted lazily
+// by waitSite only when a report is built.
+type procDiag struct {
+	pcs [16]uintptr
+	n   int
+}
+
+// Task is a resumable proc body: a state machine whose Step is invoked in
+// kernel context each time the proc starts or wakes. Step must either arm
+// exactly one wake source before returning — TaskSleep, TaskYield, or
+// Signal.Wait — or call TaskExit to finish the proc; returning with neither
+// is an error (the proc would silently never run again) and aborts the run.
+//
+// Tasks trade the blocking Proc API for zero per-rank goroutines and
+// stacks: a 64k-rank world is 64k small structs, not 64k parked stacks.
+// Scheduling-wise a task is indistinguishable from a goroutine proc making
+// the same calls at the same virtual times, so observables are bit-identical
+// across the two forms.
+type Task interface {
+	Step(p *Proc)
+}
+
+// run is the goroutine entry point of a goroutine-mode proc: the body
+// executes immediately (startProc blocks on the token until the first park)
+// and the epilogue always returns the execution token to the kernel.
 func (p *Proc) run(body func(*Proc)) {
-	<-p.resume
 	defer func() {
 		p.finished = true
 		if r := recover(); r != nil {
@@ -44,7 +89,7 @@ func (p *Proc) run(body func(*Proc)) {
 				p.k.abort(fmt.Errorf("sim: proc %q panicked: %v", p.Name, r))
 			}
 		}
-		p.k.yield <- struct{}{}
+		p.tok <- struct{}{}
 	}()
 	body(p)
 }
@@ -56,16 +101,79 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 func (p *Proc) Now() Time { return p.k.now }
 
 // park yields the execution token and blocks until some event resumes this
-// proc. tag describes the wait for deadlock diagnostics.
+// proc. tag describes the wait for deadlock diagnostics. The send and the
+// receive are both rendezvous on the proc's own unbuffered token channel:
+// the send wakes the kernel (which is blocked receiving in switchTo), the
+// receive blocks until the kernel's next switchTo send.
 func (p *Proc) park(tag string) {
 	p.waitTag = tag
-	if p.k.diag {
-		p.waitPCsN = runtime.Callers(3, p.waitPCs[:])
+	p.captureSite()
+	p.tok <- struct{}{}
+	<-p.tok
+	p.clearWait()
+}
+
+// captureSite records the blocking call site when diagnostics are on.
+// Callers are exactly two frames above the application call being captured
+// (park <- Sleep/Wait <- app, or armWake <- TaskSleep/Wait <- app).
+func (p *Proc) captureSite() {
+	if !p.k.diag {
+		return
 	}
-	p.k.yield <- struct{}{}
-	<-p.resume
+	if p.diag == nil {
+		p.diag = new(procDiag)
+	}
+	p.diag.n = runtime.Callers(3, p.diag.pcs[:])
+}
+
+// clearWait resets the wait diagnostics after a resume.
+func (p *Proc) clearWait() {
 	p.waitTag = ""
-	p.waitPCsN = 0
+	if p.diag != nil {
+		p.diag.n = 0
+	}
+}
+
+// armWake is the task-mode counterpart of park: it records that the current
+// Step has registered a wake source and returns to the caller (which must
+// then return from Step). Arming twice in one Step is a bug — the proc
+// would be woken twice for one logical wait — and panics.
+func (p *Proc) armWake(tag string) {
+	if p.armed {
+		panic(fmt.Sprintf("sim: task %q armed two wake sources in one Step", p.Name))
+	}
+	p.armed = true
+	p.waitTag = tag
+	p.captureSite()
+}
+
+// TaskSleep is Sleep for task procs: it schedules a wake after d and arms
+// it, returning true — the Step must return so the wake can fire. A
+// non-positive d matches Sleep's no-park semantics: nothing is armed, the
+// task continues inline, and TaskSleep returns false.
+func (p *Proc) TaskSleep(d Time, tag string) bool {
+	if d <= 0 {
+		return false
+	}
+	k := p.k
+	k.AtCall(k.now+d, wakeProc, p)
+	p.armWake(tag)
+	return true
+}
+
+// TaskYield is Yield for task procs: the next Step runs at the current
+// virtual time, after every other currently-runnable same-time event.
+// Unlike TaskSleep it always arms, so the Step must return.
+func (p *Proc) TaskYield() {
+	k := p.k
+	k.AtCall(k.now, wakeProc, p)
+	p.armWake("yield")
+}
+
+// TaskExit finishes a task proc: the state machine is released and Step is
+// never called again. The task counterpart of the body returning.
+func (p *Proc) TaskExit() {
+	p.finished = true
 }
 
 // waitSite formats the blocking call site captured at the current park: the
@@ -73,10 +181,10 @@ func (p *Proc) park(tag string) {
 // wait plumbing, i.e. the application (or RMA-layer) call that blocked.
 // Returns "" when diagnostics are off or the proc is not parked.
 func (p *Proc) waitSite() string {
-	if p.waitPCsN == 0 {
+	if p.diag == nil || p.diag.n == 0 {
 		return ""
 	}
-	frames := runtime.CallersFrames(p.waitPCs[:p.waitPCsN])
+	frames := runtime.CallersFrames(p.diag.pcs[:p.diag.n])
 	var sites []string
 	for {
 		f, more := frames.Next()
@@ -136,7 +244,9 @@ type Signal struct {
 	k       *Kernel
 	waiters []*Proc
 	// spare is the previous waiter slice, recycled by Fire so steady-state
-	// wait/fire cycles allocate nothing.
+	// wait/fire cycles allocate nothing. Fire never runs waiters inline —
+	// wakes go through the event queue — so a re-wait from a woken proc
+	// appends to the new waiters slice, never to the batch being drained.
 	spare []*Proc
 }
 
@@ -161,15 +271,22 @@ func (s *Signal) Fire() {
 }
 
 // Wait parks the calling proc until the next Fire. tag is used in deadlock
-// diagnostics.
+// diagnostics. For a task proc it arms the wake and returns immediately —
+// the caller must unwind out of Step and re-check its predicate on the next
+// Step, exactly as a goroutine proc re-checks after park returns.
 func (s *Signal) Wait(p *Proc, tag string) {
 	s.waiters = append(s.waiters, p)
+	if p.task != nil {
+		p.armWake(tag)
+		return
+	}
 	p.park(tag)
 }
 
 // WaitFor parks p on the signal until pred() holds, re-evaluating after
 // every Fire. pred is evaluated immediately first, so a pre-satisfied
-// condition never blocks.
+// condition never blocks. Goroutine procs only; tasks re-check their
+// predicate across Steps instead.
 func (s *Signal) WaitFor(p *Proc, tag string, pred func() bool) {
 	for !pred() {
 		s.Wait(p, tag)
