@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +63,8 @@ var experiments = []experiment{
 		func(n int) fmt.Stringer { return bench.Fig11EAAR(n) }},
 	{"14", "repo extension", "Fault sweep: epoch latency vs fabric drop rate under the ARQ",
 		func(n int) fmt.Stringer { return bench.FigFaultSweep(n) }},
+	{"kv", "repo extension", "Chaos serving: replicated KV store across a scheduled server death, throughput + p99/p999 vs time, all modes",
+		func(n int) fmt.Stringer { return bench.FigKV(n) }},
 	{"modes", "repo extension", "Three-way mode comparison: Late Unlock under vanilla, new (blocking/nonblocking) and flush windows",
 		func(n int) fmt.Stringer { return bench.FigModes(n) }},
 	{"scale", "repo extension", "Scaling: GATS epoch at 64-512 ranks on a fixed-core fat-tree, congestion-attributed",
@@ -80,6 +83,7 @@ func main() {
 	fig := flag.String("fig", "", "figure to run (see -list); empty = all, plus the VIII-A tables")
 	iters := flag.Int("iters", 10, "iterations to average per measurement")
 	list := flag.Bool("list", false, "list available figure ids and exit")
+	jsonOut := flag.String("json", "", "also write the executed figures as JSON keyed by id to `file` (CI artifacts)")
 	pf := bench.RegisterFlags()
 	flag.Parse()
 
@@ -95,6 +99,7 @@ func main() {
 	defer stop()
 
 	ran := false
+	figures := map[string]fmt.Stringer{}
 	for _, e := range experiments {
 		if *fig != "" && *fig != e.id {
 			continue
@@ -102,7 +107,9 @@ func main() {
 		if *fig == "" && deepExperiments[e.id] {
 			continue
 		}
-		fmt.Println(e.run(*iters))
+		v := e.run(*iters)
+		figures[e.id] = v
+		fmt.Println(v)
 		ran = true
 	}
 	if *fig == "" {
@@ -118,5 +125,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "epochbench: unknown figure %q (valid: %s; see -list)\n", *fig, strings.Join(ids, ", "))
 		stop()
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(figures, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: encode -json: %v\n", err)
+			stop()
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonOut, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: write -json: %v\n", err)
+			stop()
+			os.Exit(2)
+		}
 	}
 }

@@ -24,6 +24,15 @@
 // foMPI-style scalable lock protocol, with a flush-specific end-state check
 // on top of the usual battery.
 //
+// With -mode kv, seeds derive chaos scenarios for the replicated KV store
+// (internal/kvstore) instead of epoch programs: scheduled server deaths,
+// link flaps and jitter against seeded Zipfian serving traffic. Each seed
+// checks the sequential oracle (zero acknowledged-write loss on surviving
+// copies), bit-identical replay of every retry/failover decision, and
+// serial/sharded kernel parity:
+//
+//	go run ./cmd/fuzz -mode kv -n 20 -seed 1
+//
 // With -lossy every seed runs over a fault-injecting fabric (drop rate
 // around 1e-3 plus duplicates, corruption, jitter and link flaps — see
 // fuzz.LossyProfile). With -topo every seed routes its internode packets
@@ -67,6 +76,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *mode == "kv" {
+		runKV(*n, *seed, *verbose, stop)
+		return
+	}
+
 	var modes []core.Mode
 	switch *mode {
 	case "both":
@@ -80,7 +94,7 @@ func main() {
 	case "all":
 		modes = append(append([]core.Mode(nil), fuzz.BothModes...), core.ModeFlush)
 	default:
-		fmt.Fprintf(os.Stderr, "fuzz: unknown -mode %q (want both, new, vanilla, flush or all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "fuzz: unknown -mode %q (want both, new, vanilla, flush, kv or all)\n", *mode)
 		stop()
 		os.Exit(2)
 	}
@@ -125,5 +139,38 @@ func main() {
 		fabricKind += fmt.Sprintf(" (%s interconnect)", kind)
 	}
 	fmt.Printf("ok: %d programs x %d mode(s) over %s, all invariants held\n", *n, len(modes), fabricKind)
+	stop()
+}
+
+// runKV is the chaos KV-store arm: every seed derives a replicated
+// serving scenario with a scheduled fault adversary (fuzz.KVOptions), runs
+// it, and checks the sequential oracle (zero acknowledged-write loss), that
+// a replay reproduces every retry/failover decision bit for bit, and that a
+// sharded kernel matches the serial run.
+func runKV(n int, seed uint64, verbose bool, stop func()) {
+	failures := fuzz.KVCampaign(fuzz.Options{
+		N:      n,
+		Seed:   seed,
+		Shards: bench.Shards(),
+		Report: func(s uint64, fs []fuzz.Failure) {
+			if verbose {
+				fmt.Printf("seed %d: %s\n", s, fuzz.DescribeKV(s))
+			}
+			for _, f := range fs {
+				fmt.Printf("FAIL %s\n", f)
+			}
+		},
+		Progress: func(done, failed int) {
+			if !verbose && done%10 == 0 {
+				fmt.Printf("%d/%d scenarios checked, %d failures\n", done, n, failed)
+			}
+		},
+	})
+	if len(failures) > 0 {
+		fmt.Printf("FAIL: %d of %d KV scenarios violated invariants\n", len(failures), n)
+		stop()
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d KV chaos scenarios, zero acked-write loss, deterministic failover, serial/sharded parity\n", n)
 	stop()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mpi"
 	"repro/internal/sim"
@@ -62,14 +63,27 @@ type RMAError struct {
 	Win   int64
 	Peer  int // implicated peer, -1 when unattributable
 	Msg   string
+	// Peers is the blocked peer set at abort time: every dependency of the
+	// failed epoch that had not yet satisfied its completion condition
+	// (the dead peers only, for ErrRankUnreachable). Sorted ascending.
+	// Failover layers use it to re-target around the stall instead of
+	// guessing; Peer is its first element when attribution is possible.
+	Peers []int
 }
 
-// Error implements the error interface.
+// Error implements the error interface. The blocked peer set is appended
+// when it says more than the Peer attribution already does.
 func (e *RMAError) Error() string {
+	var s string
 	if e.Peer >= 0 {
-		return fmt.Sprintf("core: rank %d win %d: %s (peer %d): %s", e.Rank, e.Win, e.Class, e.Peer, e.Msg)
+		s = fmt.Sprintf("core: rank %d win %d: %s (peer %d): %s", e.Rank, e.Win, e.Class, e.Peer, e.Msg)
+	} else {
+		s = fmt.Sprintf("core: rank %d win %d: %s: %s", e.Rank, e.Win, e.Class, e.Msg)
 	}
-	return fmt.Sprintf("core: rank %d win %d: %s: %s", e.Rank, e.Win, e.Class, e.Msg)
+	if len(e.Peers) > 1 || (len(e.Peers) == 1 && e.Peers[0] != e.Peer) {
+		s = fmt.Sprintf("%s; blocked peers %v", s, e.Peers)
+	}
+	return s
 }
 
 // newRMAError builds an error carrying the window's context.
@@ -108,9 +122,14 @@ func (w *Window) abortEpoch(ep *Epoch, err *RMAError) {
 	w.fstats.EpochsAborted++
 	// Forget this epoch's transfers: recorded ones must never issue, and
 	// in-flight ones toward a dead peer will never complete — neither may
-	// keep a flush or quiesce waiting.
+	// keep a flush or quiesce waiting. Request-based ops fail rather than
+	// vanish, so a Wait on an RPut/RGet against the aborted epoch observes
+	// the cause instead of hanging.
 	for o := range w.liveOps {
 		if o.ep == ep {
+			if o.req != nil {
+				o.req.Fail(err)
+			}
 			delete(w.liveOps, o)
 		}
 	}
@@ -129,17 +148,30 @@ func (w *Window) abortEpoch(ep *Epoch, err *RMAError) {
 // gets the causing error, the rest cascade as ErrEpochAborted. Outstanding
 // nonblocking flushes fail too — their completion counters may depend on
 // transfers that will never finish.
+//
+// Abort is idempotent and re-entrancy safe: a second abort (an epoch
+// timeout racing the fabric's unreachable-peer declaration lands here
+// twice in the same virtual instant) finds every epoch already completed
+// and every request already failed, so the first *RMAError — already
+// stored in w.err by abortEpoch — is never clobbered. The pending queue is
+// snapshotted before unwinding because failing a closing request runs its
+// completion hooks, which may re-enter the window and compact w.epochs in
+// place (scanActivate -> pruneCompleted); iterating the live slice could
+// skip epochs mid-cascade.
 func (w *Window) abortPending(first *Epoch, err *RMAError) {
 	w.abortEpoch(first, err)
 	cascade := w.newRMAError(ErrEpochAborted, err.Peer,
 		"epoch aborted in cascade after %s", err.Class)
-	for _, ep := range w.epochs {
+	cascade.Peers = err.Peers
+	pend := append([]*Epoch(nil), w.epochs...)
+	for _, ep := range pend {
 		w.abortEpoch(ep, cascade)
 	}
-	for _, f := range w.flushes {
+	fl := w.flushes
+	w.flushes = nil
+	for _, f := range fl {
 		f.req.Fail(cascade)
 	}
-	w.flushes = nil
 }
 
 // waitSync is the blocking tail of every synchronization call: wait for the
@@ -171,33 +203,66 @@ func (w *Window) armEpochTimeout(ep *Epoch) {
 	})
 }
 
-// classifyStall attributes a timed-out epoch: if any peer the epoch depends
-// on is provably unreachable (fabric-declared or engine-known dead), the
-// error is ErrRankUnreachable naming that peer; otherwise a plain
-// ErrTimeout.
+// classifyStall attributes a timed-out epoch. The blocked peer set — every
+// dependency whose completion condition still fails — is computed first;
+// if any of its members is provably unreachable (fabric-declared or
+// engine-known dead), the error is ErrRankUnreachable naming the dead
+// peers, otherwise a plain ErrTimeout carrying the full blocked set. Either
+// way the caller's failover layer gets an explicit target list instead of
+// guessing from the message.
 func (w *Window) classifyStall(ep *Epoch) *RMAError {
-	check := func(peers []int) *RMAError {
-		for _, p := range peers {
-			if w.eng.peerDead(p) {
-				return w.newRMAError(ErrRankUnreachable, p,
-					"%s epoch seq %d waited %s of virtual time; peer declared unreachable",
-					ep.kind, ep.seq, fmtTime(w.timeout))
-			}
+	blocked := w.blockedPeers(ep)
+	var dead []int
+	for _, p := range blocked {
+		if w.eng.peerDead(p) {
+			dead = append(dead, p)
 		}
-		return nil
+	}
+	if len(dead) > 0 {
+		e := w.newRMAError(ErrRankUnreachable, dead[0],
+			"%s epoch seq %d waited %s of virtual time; peer declared unreachable",
+			ep.kind, ep.seq, fmtTime(w.timeout))
+		e.Peers = dead
+		return e
+	}
+	e := w.newRMAError(ErrTimeout, -1,
+		"%s epoch seq %d incomplete after %s of virtual time", ep.kind, ep.seq, fmtTime(w.timeout))
+	e.Peers = blocked
+	return e
+}
+
+// blockedPeers lists the epoch's dependencies that have not yet satisfied
+// their completion condition: access-side targets that have not granted,
+// still have issued or recorded transfers, or (after the application
+// closed the epoch) still owe a done/unlock posting; exposure-side origins
+// whose done packet has not arrived. Sorted ascending, deduplicated, self
+// excluded — the set failover logic can act on.
+func (w *Window) blockedPeers(ep *Epoch) []int {
+	var out []int
+	add := func(p int) {
+		if p == w.rank.ID || containsRank(out, p) {
+			return
+		}
+		out = append(out, p)
 	}
 	if ep.kind.isAccessRole() {
-		if e := check(ep.accessTargets()); e != nil {
-			return e
+		for _, t := range ep.accessTargets() {
+			if !ep.granted(t) || ep.pending[t] > 0 || len(ep.recByTgt[t]) > 0 ||
+				(ep.closedApp && !ep.donePosted[t]) {
+				add(t)
+			}
 		}
 	}
 	if ep.kind.isExposureRole() {
-		if e := check(ep.exposureOrigins()); e != nil {
-			return e
+		for _, o := range ep.exposureOrigins() {
+			id, ok := ep.exposeID[o]
+			if !ok || !w.peer(o).exposureComplete(id) {
+				add(o)
+			}
 		}
 	}
-	return w.newRMAError(ErrTimeout, -1,
-		"%s epoch seq %d incomplete after %s of virtual time", ep.kind, ep.seq, fmtTime(w.timeout))
+	sort.Ints(out)
+	return out
 }
 
 // fmtTime renders a virtual duration for error messages.
@@ -239,11 +304,51 @@ func (e *Engine) peerDead(peer int) bool {
 	return e.rt.world.Net.PeerUnreachable(e.rank.ID, peer)
 }
 
+// deadDependency returns a peer in the epoch's dependency set that this
+// rank already knows to be unreachable, or -1. Consulted at epoch-open
+// time: abortOnDeadPeer unwinds the epochs that exist when a death is
+// declared, but an epoch opened afterwards would wait on the dead peer
+// forever — its lock request, grant or done packet is never answered — so
+// it must abort at the door. Only e.dead is consulted (not the fabric link
+// state): every declaration path funnels through Engine.peerUnreachable,
+// and the nil check keeps the fault-free fast path allocation- and
+// scan-free.
+func (w *Window) deadDependency(ep *Epoch) int {
+	dead := w.eng.dead
+	if dead == nil {
+		return -1
+	}
+	if ep.kind.isAccessRole() {
+		for _, t := range ep.accessTargets() {
+			if t != w.rank.ID && dead[t] {
+				return t
+			}
+		}
+	}
+	if ep.kind.isExposureRole() {
+		for _, o := range ep.exposureOrigins() {
+			if o != w.rank.ID && dead[o] {
+				return o
+			}
+		}
+	}
+	return -1
+}
+
+// abortOpenedDead aborts a just-opened epoch that depends on peer p, known
+// dead before the epoch existed.
+func (w *Window) abortOpenedDead(ep *Epoch, p int) {
+	e := w.newRMAError(ErrRankUnreachable, p,
+		"%s epoch seq %d opened toward unreachable peer", ep.kind, ep.seq)
+	e.Peers = []int{p}
+	w.abortPending(ep, e)
+}
+
 // abortOnDeadPeer aborts the window's pending epochs if any of them depends
 // on the dead peer. The whole pending queue unwinds — the window's serial
 // activation pipeline cannot skip a wedged epoch. Flush-mode windows have
-// no epochs to scan; they span every peer by construction (the epochless
-// lock_all idiom), so the whole window poisons at once.
+// no epochs to scan; they poison when their current lock/transfer/master
+// state depends on the peer (flushDependsOn) and stay healthy otherwise.
 func (w *Window) abortOnDeadPeer(peer int) {
 	if w.mode == ModeFlush {
 		w.flushAbortPeer(peer)
@@ -256,8 +361,10 @@ func (w *Window) abortOnDeadPeer(peer int) {
 		involved := (ep.kind.isAccessRole() && ep.coversTarget(peer)) ||
 			(ep.kind.isExposureRole() && containsRank(ep.exposureOrigins(), peer))
 		if involved {
-			w.abortPending(ep, w.newRMAError(ErrRankUnreachable, peer,
-				"%s epoch seq %d depends on unreachable peer", ep.kind, ep.seq))
+			e := w.newRMAError(ErrRankUnreachable, peer,
+				"%s epoch seq %d depends on unreachable peer", ep.kind, ep.seq)
+			e.Peers = []int{peer}
+			w.abortPending(ep, e)
 			return
 		}
 	}

@@ -305,6 +305,142 @@ func TestDuplicateLockGrantIdempotent(t *testing.T) {
 	}
 }
 
+// Satellite: a timed-out epoch names the peers it is actually blocked on —
+// the failover target list — both in the typed Peers field and in the
+// rendered message. A healthy co-target whose data and done notification
+// already completed must not appear.
+func TestTimeoutCarriesBlockedPeers(t *testing.T) {
+	w, rt := testWorld(t, 3)
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 256, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 2 * sim.Millisecond,
+		})
+		switch r.ID {
+		case 0:
+			win.Start([]int{1, 2})
+			win.Put(1, 0, make([]byte, 32), 32)
+			win.Put(2, 0, make([]byte, 32), 32) // rank 2 never posts: stalls
+			win.Complete()
+			t.Error("Complete returned without rank 2's exposure")
+		case 1:
+			win.Post([]int{0})
+			win.WaitEpoch()
+		case 2:
+			// Never posts the matching exposure.
+		}
+	})
+	var rma *RMAError
+	if !errors.As(err, &rma) {
+		t.Fatalf("error %v does not unwrap to *RMAError", err)
+	}
+	if rma.Class != ErrTimeout || rma.Peer != -1 {
+		t.Fatalf("class=%v peer=%d, want ERR_TIMEOUT with peer -1 (%v)", rma.Class, rma.Peer, err)
+	}
+	if len(rma.Peers) != 1 || rma.Peers[0] != 2 {
+		t.Fatalf("blocked peer set = %v, want [2] (%v)", rma.Peers, err)
+	}
+	if !strings.Contains(err.Error(), "blocked peers [2]") {
+		t.Errorf("message %q does not render the blocked peer set", err)
+	}
+}
+
+// Satellite: double abort — an epoch timeout firing before the fabric's
+// unreachable-peer declaration means the window aborts twice. The second
+// abort must be a no-op: no panic, and the first *RMAError (the timeout)
+// stays the window's error.
+func TestDoubleAbortPreservesFirstError(t *testing.T) {
+	fp := fabric.DefaultFaultProfile(43)
+	fp.DeadRank = 1
+	fp.DeadFrom = 200 * sim.Microsecond // window creation completes first
+	fp.RTO = 60 * sim.Microsecond
+	fp.MaxRetries = 5 // declaration needs ~1.9ms of backoff: the timeout wins
+	w, rt := faultyWorld(t, 2, fp)
+	var reqErr, winErr error
+	var fs FaultStats
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 256, WinOptions{
+			Mode:         ModeNew,
+			EpochTimeout: 100 * sim.Microsecond,
+		})
+		if r.ID != 0 {
+			return
+		}
+		r.Compute(300 * sim.Microsecond) // let DeadFrom pass first
+		win.IStart([]int{1})
+		win.Put(1, 0, make([]byte, 64), 64)
+		req := win.IComplete()
+		r.Wait(req) // timeout abort: completes-with-error at ~100us
+		reqErr = req.Err()
+		r.Compute(5 * sim.Millisecond) // let the unreachable declaration land too
+		winErr = win.Err()
+		fs = win.FaultStats()
+	})
+	if err != nil {
+		t.Fatalf("run failed (double abort escalated?): %v", err)
+	}
+	var rma *RMAError
+	if !errors.As(reqErr, &rma) || rma.Class != ErrTimeout {
+		t.Fatalf("first abort error = %v, want ErrTimeout (declaration had not landed yet)", reqErr)
+	}
+	if !errors.As(winErr, &rma) || rma.Class != ErrTimeout {
+		t.Fatalf("window error after declaration = %v, want the first ErrTimeout preserved", winErr)
+	}
+	if fs.EpochsAborted != 1 {
+		t.Errorf("EpochsAborted = %d, want exactly 1 (second abort must be a no-op)", fs.EpochsAborted)
+	}
+}
+
+// The tentpole core property: under a *scheduled* rank death, only the
+// windows that depend on the dead rank poison; a sibling flush-mode window
+// whose master, locks and transfers all avoid it keeps serving. This is
+// what lets a replicated store recover around a dead home instead of dying
+// with it.
+func TestScheduledDeathPoisonsOnlyDependentWindows(t *testing.T) {
+	w := mpi.NewWorld(3, fabric.DefaultConfig())
+	w.Net.EnableSchedule(fabric.FaultSchedule{
+		Deaths: []fabric.RankDeath{{Rank: 2, At: 100 * sim.Microsecond}},
+	})
+	rt := NewRuntime(w)
+	var errA, errB error
+	var after []byte
+	err := w.Run(func(r *mpi.Rank) {
+		winA := rt.CreateWindow(r, 256, WinOptions{Mode: ModeFlush, FlushMaster: 1})
+		winB := rt.CreateWindow(r, 256, WinOptions{Mode: ModeFlush, FlushMaster: 2})
+		if r.ID != 0 {
+			return // rank 2 dies at 100us; rank 1 serves in NIC context
+		}
+		winB.Put(2, 0, []byte("pre-death"), 9)
+		winB.Flush(2) // completes: rank 2 is still alive
+		r.Compute(200 * sim.Microsecond) // past death + detection
+		errB = winB.Err()
+		errA = winA.Err()
+		// The healthy window keeps serving after the death.
+		winA.Lock(1, true)
+		winA.Put(1, 0, []byte("post-death"), 10)
+		winA.Unlock(1)
+		after = append([]byte(nil), []byte("post-death")...)
+		// Post-poison nonblocking ops on winB fail fast with the cause.
+		fq := winB.IFlush(2)
+		if !fq.Done() {
+			t.Error("IFlush on the poisoned window should fail immediately")
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	var rma *RMAError
+	if !errors.As(errB, &rma) || rma.Class != ErrRankUnreachable || rma.Peer != 2 {
+		t.Fatalf("dependent window error = %v, want ErrRankUnreachable peer 2", errB)
+	}
+	if errA != nil {
+		t.Fatalf("independent window poisoned: %v", errA)
+	}
+	if string(after) != "post-death" {
+		t.Fatal("post-death traffic on the healthy window did not complete")
+	}
+}
+
 // Epoch timeouts are inert on completing runs: nothing fires, nothing
 // aborts, and the armed timers do not prevent kernel quiescence.
 func TestEpochTimeoutInertOnHealthyRun(t *testing.T) {

@@ -61,6 +61,13 @@ type WinOptions struct {
 	// ErrTimeout (or ErrRankUnreachable when a dead peer is implicated).
 	// 0 — the default — disables the watchdog, matching MPI semantics.
 	EpochTimeout sim.Time
+	// FlushMaster selects the rank hosting a ModeFlush window's global
+	// lock counters (the foMPI protocol's master; 0 by default). Collective
+	// like every option: all ranks must pass the same value. Serving
+	// scenarios with one window per data home set it to the home rank, so
+	// the death of an unrelated rank never implicates the window via its
+	// master dependency.
+	FlushMaster int
 }
 
 // CreateWindow collectively creates an RMA window exposing size bytes of
@@ -101,7 +108,11 @@ func (rt *Runtime) CreateWindowNC(r *mpi.Rank, size int64, opt WinOptions) *Wind
 	}
 	w.agent = newLockAgent(w)
 	if opt.Mode == ModeFlush {
-		w.initFlushMode()
+		if opt.FlushMaster < 0 || opt.FlushMaster >= w.n {
+			panic(fmt.Sprintf("core: rank %d win %d: FlushMaster %d out of range (n=%d)",
+				r.ID, w.id, opt.FlushMaster, w.n))
+		}
+		w.initFlushMode(opt.FlushMaster)
 	}
 	eng.windows[w.id] = w
 	eng.winList = append(eng.winList, w)

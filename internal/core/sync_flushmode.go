@@ -34,7 +34,8 @@ import (
 // memory-model relaxation the epochless idiom is built on), so the memory-
 // consistency tool remains the flush family.
 
-// flushMaster is the rank hosting the global lock counters.
+// flushMaster is the default rank hosting the global lock counters;
+// WinOptions.FlushMaster moves them per window.
 const flushMaster = 0
 
 // Conditional-atomic codes of the lock protocol (fabric packet Arg[1]).
@@ -66,10 +67,14 @@ type flushState struct {
 	noCheck    map[int]bool // MPI_MODE_NOCHECK pseudo-locks (no protocol)
 	lockAll    bool         // lock_all held
 	pending    map[*lockOp]struct{} // in-flight protocol operations
+
+	// master is the rank hosting this window's global counter pair
+	// (WinOptions.FlushMaster; identical on every rank by collectivity).
+	master int
 }
 
 // initFlushMode installs the flush-mode state on a freshly created window.
-func (w *Window) initFlushMode() {
+func (w *Window) initFlushMode(master int) {
 	ep := &Epoch{win: w, kind: EpochLockAll, seq: -1, shared: true,
 		noCheck: true, activated: true}
 	// Small hint, not w.n: the perpetual epoch is noCheck, so granted()
@@ -84,6 +89,7 @@ func (w *Window) initFlushMode() {
 		heldExcl:   make(map[int]bool),
 		noCheck:    make(map[int]bool),
 		pending:    make(map[*lockOp]struct{}),
+		master:     master,
 	}
 }
 
@@ -102,7 +108,7 @@ type lockOp struct {
 func (lo *lockOp) atomDst(code int64) int {
 	switch code {
 	case laGlobalAcqX, laGlobalRelX, laGlobalAcqS, laGlobalRelS:
-		return flushMaster
+		return lo.fm.master
 	}
 	return lo.target
 }
@@ -279,6 +285,9 @@ func (fm *flushState) acquire(target int, exclusive bool) *mpi.Request {
 	if fm.heldShared[target] || fm.heldExcl[target] || fm.noCheck[target] {
 		w.raisef("flush mode: target %d is already locked by this origin", target)
 	}
+	if err := fm.deadAcquire(target); err != nil {
+		return mpi.NewFailedRequest(w.rank, err)
+	}
 	lo := &lockOp{fm: fm, req: mpi.NewRequest(w.rank), target: target}
 	fm.pending[lo] = struct{}{}
 	if exclusive {
@@ -371,6 +380,9 @@ func (fm *flushState) acquireAllNC() *mpi.Request {
 	if fm.lockAll {
 		w.raisef("flush mode: lock_all is already held")
 	}
+	if err := fm.deadAcquire(w.rank.ID); err != nil {
+		return mpi.NewFailedRequest(w.rank, err)
+	}
 	lo := &lockOp{fm: fm, req: mpi.NewRequest(w.rank), target: -1}
 	fm.pending[lo] = struct{}{}
 	fm.sendAtom(lo, laGlobalAcqS)
@@ -439,6 +451,29 @@ func (fm *flushState) held() int {
 // idle reports that no lock-protocol operation is in flight.
 func (fm *flushState) idle() bool { return len(fm.pending) == 0 }
 
+// deadAcquire rejects a lock acquisition whose protocol would wait on a
+// rank this origin already knows unreachable (the target's local counters
+// or the master's global pair). Unlike flushAbortPeer this does NOT poison
+// the window: a refused acquisition wedges nothing, so the window stays
+// usable toward live peers — the failure domain stays as small as the
+// request.
+func (fm *flushState) deadAcquire(target int) *RMAError {
+	w := fm.w
+	dead := w.eng.dead
+	if dead == nil {
+		return nil
+	}
+	for _, p := range [2]int{target, fm.master} {
+		if p != w.rank.ID && dead[p] {
+			err := w.newRMAError(ErrRankUnreachable, p,
+				"lock acquisition toward unreachable peer")
+			err.Peers = []int{p}
+			return err
+		}
+	}
+	return nil
+}
+
 // failPending fails every in-flight lock-protocol operation (window abort).
 func (fm *flushState) failPending(err *RMAError) {
 	for lo := range fm.pending {
@@ -449,17 +484,24 @@ func (fm *flushState) failPending(err *RMAError) {
 }
 
 // flushAbortPeer poisons a flush-mode window when the fabric declares peer
-// unreachable: every live op's request fails, outstanding flushes fail, and
-// in-flight lock operations fail — so blocked Flush/FlushAll callers panic
-// with ErrRankUnreachable instead of waiting on transfers that will never
-// complete. The perpetual epoch records the error too, making subsequent
-// RMA calls raise it (addOp's ep.err check).
+// unreachable — but only when the window actually depends on the peer
+// (flushDependsOn): every live op's request fails, outstanding flushes
+// fail, and in-flight lock operations fail — so blocked Flush/FlushAll
+// callers panic with ErrRankUnreachable instead of waiting on transfers
+// that will never complete. The perpetual epoch records the error too,
+// making subsequent RMA calls raise it (addOp's ep.err check). A window
+// with no dependency on the dead peer stays healthy — the property a
+// serving scenario's per-home windows recover around.
 func (w *Window) flushAbortPeer(peer int) {
 	if w.err != nil {
 		return // already poisoned; first abort did the unwinding
 	}
+	if !w.flushDependsOn(peer) {
+		return
+	}
 	err := w.newRMAError(ErrRankUnreachable, peer,
 		"flush-mode window depends on unreachable peer")
+	err.Peers = []int{peer}
 	w.err = err
 	w.flushEp.err = err
 	w.fstats.EpochsAborted++
@@ -475,4 +517,29 @@ func (w *Window) flushAbortPeer(peer int) {
 	w.flushes = nil
 	w.fm.failPending(err)
 	w.rank.Wake.Fire()
+}
+
+// flushDependsOn reports whether the flush-mode window currently depends on
+// peer: in-flight transfers toward it, a held or in-flight lock involving
+// it, lock_all (which spans every peer by construction), or the global-
+// counter master (every future acquire must reach it).
+func (w *Window) flushDependsOn(peer int) bool {
+	fm := w.fm
+	if peer == fm.master || fm.lockAll {
+		return true
+	}
+	if fm.heldShared[peer] || fm.heldExcl[peer] || fm.noCheck[peer] {
+		return true
+	}
+	for lo := range fm.pending {
+		if lo.target == peer {
+			return true
+		}
+	}
+	for o := range w.liveOps {
+		if o.target == peer {
+			return true
+		}
+	}
+	return false
 }

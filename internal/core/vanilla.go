@@ -19,6 +19,10 @@ import "repro/internal/sim"
 func (w *Window) vanillaActivate(ep *Epoch) {
 	w.emitEpoch(traceOpen, ep)
 	w.epochs = append(w.epochs, ep)
+	if p := w.deadDependency(ep); p >= 0 {
+		w.abortOpenedDead(ep, p)
+		return
+	}
 	w.activate(ep)
 }
 
@@ -71,6 +75,7 @@ func (w *Window) vanillaCompleteBegin() *VanillaDrain {
 	ep := w.findOpenGATSAccess()
 	w.emitEpoch(traceClose, ep)
 	w.removeOpenAccess(ep)
+	w.armEpochTimeout(ep)
 	return &VanillaDrain{w: w, ep: ep, targets: ep.targets, stage: drainGrants}
 }
 
@@ -79,6 +84,7 @@ func (w *Window) vanillaWaitBegin() *VanillaDrain {
 	ep := w.takeOldestExposure()
 	w.emitEpoch(traceClose, ep)
 	ep.closedApp = true
+	w.armEpochTimeout(ep)
 	return &VanillaDrain{w: w, ep: ep, stage: drainExpose}
 }
 
@@ -90,8 +96,16 @@ func (w *Window) vanillaWaitBegin() *VanillaDrain {
 // waitUntil calls do.
 func (d *VanillaDrain) Step(p *sim.Proc) bool {
 	w, ep, r := d.w, d.ep, d.w.rank
+	// Every stage's predicate admits ep.err: an abort (epoch timeout or
+	// dead-peer declaration) completes the epoch without ever satisfying the
+	// healthy-path condition — grants from a dead lock agent never arrive —
+	// so an abort-blind drain would park its proc forever. The blocking
+	// driver (vanillaRun) surfaces the error as a panic after the unwind.
 	if d.stage == drainGrants {
 		ok := r.TaskAwait(p, "vanilla-grants", func() bool {
+			if ep.err != nil {
+				return true
+			}
 			for _, t := range d.targets {
 				if !ep.granted(t) {
 					return false
@@ -102,15 +116,21 @@ func (d *VanillaDrain) Step(p *sim.Proc) bool {
 		if !ok {
 			return false
 		}
+		if ep.err != nil {
+			return true
+		}
 		w.eng.issueReady(ep)
 		d.stage = drainData
 	}
 	if d.stage == drainData {
 		ok := r.TaskAwait(p, "vanilla-data", func() bool {
-			return ep.pendingAll == 0 && len(ep.recorded) == 0
+			return ep.err != nil || (ep.pendingAll == 0 && len(ep.recorded) == 0)
 		})
 		if !ok {
 			return false
+		}
+		if ep.err != nil {
+			return true
 		}
 		ep.closedApp = true
 		for _, t := range d.targets {
@@ -119,10 +139,15 @@ func (d *VanillaDrain) Step(p *sim.Proc) bool {
 		ep.maybeComplete()
 		return true
 	}
-	if !r.TaskAwait(p, "vanilla-wait", ep.exposureSideDone) {
+	ok := r.TaskAwait(p, "vanilla-wait", func() bool {
+		return ep.err != nil || ep.exposureSideDone()
+	})
+	if !ok {
 		return false
 	}
-	ep.maybeComplete()
+	if ep.err == nil {
+		ep.maybeComplete()
+	}
 	return true
 }
 
@@ -137,6 +162,9 @@ func (w *Window) vanillaRun(d *VanillaDrain) {
 	for !d.Step(r.Proc) {
 	}
 	r.TimeInMPI += r.Now() - start
+	if err := d.ep.err; err != nil {
+		panic(err) // errors-are-fatal analog, same as waitSync
+	}
 }
 
 // vanillaDrain runs the blocking close sequence over the given access
@@ -179,7 +207,12 @@ func (w *Window) vanillaFence(assert FenceAssert) {
 		all := ep.accessTargets()
 		w.vanillaDrain(ep, all)
 		// Barrier semantics: wait for every peer's done packet.
-		w.rank.WaitUntil("vanilla-fence-barrier", func() bool { return ep.exposureSideDone() })
+		w.rank.WaitUntil("vanilla-fence-barrier", func() bool {
+			return ep.err != nil || ep.exposureSideDone()
+		})
+		if err := ep.err; err != nil {
+			panic(err)
+		}
 		ep.maybeComplete()
 	}
 	if assert&AssertNoSucceed == 0 {
@@ -209,15 +242,23 @@ func (w *Window) vanillaUnlock(target int) {
 	w.emitEpoch(traceClose, ep)
 	w.removeOpenAccess(ep)
 	w.vanillaLockActivate(ep)
+	w.armEpochTimeout(ep)
 	w.vanillaDrain(ep, ep.targets)
 }
 
 // vanillaLockActivate lazily activates a lock(-all) epoch if needed.
 func (w *Window) vanillaLockActivate(ep *Epoch) {
-	if ep.activated {
+	if ep.activated || ep.completed {
 		return
 	}
 	ep.activated = true
+	if p := w.deadDependency(ep); p >= 0 {
+		// Lazy activation discovers the dead peer only now (the lock call
+		// itself sent nothing); abort instead of requesting a lock from a
+		// dead agent. The caller's drain unwinds on ep.err.
+		w.abortOpenedDead(ep, p)
+		return
+	}
 	w.emitEpoch(traceActivate, ep)
 	targets := ep.accessTargets()
 	ep.ensureAccessMaps(len(targets))
@@ -250,9 +291,13 @@ func (w *Window) vanillaUnlockAll() {
 	w.emitEpoch(traceClose, ep)
 	w.removeOpenAccess(ep)
 	w.vanillaLockActivate(ep)
+	w.armEpochTimeout(ep)
 	ep.closedApp = true
 	targets := ep.accessTargets()
 	w.rank.WaitUntil("vanilla-lockall-drain", func() bool {
+		if ep.err != nil {
+			return true
+		}
 		w.eng.issueReady(ep)
 		for _, t := range targets {
 			ep.maybePostDone(t)
@@ -260,6 +305,9 @@ func (w *Window) vanillaUnlockAll() {
 		ep.maybeComplete()
 		return ep.completed
 	})
+	if err := ep.err; err != nil {
+		panic(err)
+	}
 }
 
 // vanillaForceIssue pushes a lazy passive epoch far enough for a blocking
@@ -276,6 +324,9 @@ func (w *Window) vanillaForceIssue(target int) {
 		w.vanillaLockActivate(ep)
 		epoch := ep
 		w.rank.WaitUntil("vanilla-flush-grants", func() bool {
+			if epoch.err != nil {
+				return true
+			}
 			for _, t := range epoch.accessTargets() {
 				if !epoch.granted(t) {
 					return false
@@ -283,6 +334,9 @@ func (w *Window) vanillaForceIssue(target int) {
 			}
 			return true
 		})
+		if epoch.err != nil {
+			continue // flushWait's own err check surfaces the abort
+		}
 		w.eng.issueReady(ep)
 	}
 }

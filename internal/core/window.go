@@ -147,6 +147,14 @@ func (w *Window) pushEpochCharged(ep *Epoch, charge bool) {
 	w.emitEpoch(traceOpen, ep)
 	w.epochs = append(w.epochs, ep)
 	w.dirty = true
+	if p := w.deadDependency(ep); p >= 0 {
+		// The epoch depends on a peer this rank already knows dead: abort it
+		// at the door instead of letting it wait on packets that will never
+		// arrive. Blocking closers observe the error via waitSync, I-form
+		// closers via the failed closing request.
+		w.abortOpenedDead(ep, p)
+		return
+	}
 	w.scanActivate()
 }
 

@@ -254,6 +254,9 @@ func (nw *Network) RelStats(r int) RelStats {
 // protocol deadlock. Returns "" when fault injection is disabled or the
 // rank has no link activity.
 func (nw *Network) FaultDiag(r int) string {
+	if ss := nw.sched; ss != nil {
+		return ss.diag(r)
+	}
 	fs := nw.faults
 	if fs == nil {
 		return ""

@@ -54,6 +54,12 @@ type Network struct {
 	// zero-allocation pipeline untouched but for one pointer check.
 	faults *faultState
 
+	// sched, when non-nil, routes every internode packet through the
+	// deterministic *scheduled* fault injector (schedule.go): rank deaths
+	// and link-flap hold windows as pure functions of virtual time, legal
+	// on sharded networks (unlike faults). nil costs one pointer check.
+	sched *schedState
+
 	// topo, when non-nil, routes every internode packet hop by hop through
 	// the modeled interconnect (topo.go). nil — the default crossbar —
 	// costs the lossless pipeline one pointer check, like faults.
@@ -213,6 +219,9 @@ func (nw *Network) EnableFaults(fp FaultProfile) {
 	if nw.faults != nil {
 		panic("fabric: EnableFaults called twice")
 	}
+	if nw.sched != nil {
+		panic("fabric: EnableFaults is mutually exclusive with EnableSchedule")
+	}
 	if nw.sharded {
 		// The injector draws every link's fate from one RNG stream and the
 		// reliability sublayer mutates both endpoints' link state on each
@@ -230,8 +239,14 @@ func (nw *Network) FaultsEnabled() bool { return nw.faults != nil }
 // peer unreachable (reliability-sublayer retry exhaustion).
 func (nw *Network) SetUnreachableHandler(fn func(local, peer int)) { nw.onUnreachable = fn }
 
-// PeerUnreachable reports whether rank local has declared peer unreachable.
+// PeerUnreachable reports whether rank local has declared peer unreachable:
+// ARQ retry exhaustion under the probabilistic injector, or an elapsed
+// failure-detection window under the scheduled one. Must run in rank
+// local's context on a sharded network (it reads local's clock).
 func (nw *Network) PeerUnreachable(local, peer int) bool {
+	if ss := nw.sched; ss != nil {
+		return ss.detected(peer, nw.nics[local].k.Now())
+	}
 	if nw.faults == nil {
 		return false
 	}

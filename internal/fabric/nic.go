@@ -249,6 +249,13 @@ func descTxDone(x any) {
 		fs.sendReliable(d)
 		return
 	}
+	if ss := n.nw.sched; ss != nil {
+		// Scheduled faults: the deterministic injector owns drop/hold/
+		// jitter decisions and delivery scheduling. Shard-safe — every
+		// decision reads immutable schedule tables or source-rank state.
+		ss.send(d)
+		return
+	}
 	if n.nw.topo != nil {
 		// Modeled topology: the packet crosses the interconnect hop by hop.
 		// The handoff to the engine is same-instant — no lookahead covers it

@@ -1,0 +1,272 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// schedDelivery is one observed arrival: receiver-side timestamp plus the
+// packet's identity, enough to pin both ordering and timing bit for bit.
+type schedDelivery struct {
+	At       sim.Time
+	Src, Dst int
+	Payload  int64
+}
+
+// runSchedWorld drives one fixed traffic pattern (every rank streams
+// packets to its two successors on a staggered clock) through a scheduled
+// adversary, either on the serial kernel (shards == 0) or across a shard
+// group, and returns the per-rank delivery logs plus unreachable
+// declarations in a deterministic flat order.
+func runSchedWorld(t *testing.T, fs FaultSchedule, shards int) ([]schedDelivery, []string, *Network) {
+	t.Helper()
+	const n = 4
+	cfg := DefaultConfig()
+	var nw *Network
+	var sh *sim.Shards
+	var serial *sim.Kernel
+	if shards == 0 {
+		serial = sim.NewKernel()
+		nw = NewNetwork(serial, n, cfg)
+	} else {
+		assign := make([]int, n)
+		for r := range assign {
+			assign[r] = r % shards
+		}
+		sh = sim.NewShards(assign)
+		nw = NewNetworkShards(sh, n, cfg)
+		sh.SetLookahead(nw.Lookahead())
+	}
+	nw.EnableSchedule(fs)
+	got := make([][]schedDelivery, n)
+	decl := make([][]string, n)
+	for r := 0; r < n; r++ {
+		r := r
+		nw.SetHandler(r, func(p *Packet) {
+			got[r] = append(got[r], schedDelivery{nw.nics[r].k.Now(), p.Src, p.Dst, p.Arg[0]})
+		})
+	}
+	nw.SetUnreachableHandler(func(local, peer int) {
+		decl[local] = append(decl[local],
+			fmt.Sprintf("t=%d %d->%d", nw.nics[local].k.Now(), local, peer))
+	})
+	for src := 0; src < n; src++ {
+		src := src
+		k := nw.nics[src].k
+		for i := 0; i < 40; i++ {
+			i := i
+			dst := (src + 1 + i%2) % n
+			k.At(sim.Time(i)*500*sim.Nanosecond, func() {
+				p := nw.AllocPacketAt(src)
+				p.Src, p.Dst, p.Kind, p.Size = src, dst, KindUser, 128
+				p.Arg[0] = int64(src*1000 + i)
+				nw.Send(p)
+			})
+		}
+	}
+	if shards == 0 {
+		if err := serial.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := sh.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var flat []schedDelivery
+	for r := 0; r < n; r++ {
+		flat = append(flat, got[r]...)
+	}
+	var flatDecl []string
+	for r := 0; r < n; r++ {
+		flatDecl = append(flatDecl, decl[r]...)
+	}
+	return flat, flatDecl, nw
+}
+
+// kvSchedule is the adversary the tests share: one mid-run death, one flap
+// window, deterministic jitter.
+func kvSchedule() FaultSchedule {
+	return FaultSchedule{
+		Seed:   99,
+		Deaths: []RankDeath{{Rank: 2, At: 8 * sim.Microsecond}},
+		Flaps:  []LinkFlap{{Src: 0, Dst: 1, From: 3 * sim.Microsecond, For: 5 * sim.Microsecond}},
+		Jitter: 700 * sim.Nanosecond,
+	}
+}
+
+func TestScheduledDeathDropsAndDetects(t *testing.T) {
+	fs := FaultSchedule{Deaths: []RankDeath{{Rank: 2, At: 8 * sim.Microsecond}}}
+	flat, decl, nw := runSchedWorld(t, fs, 0)
+	for _, d := range flat {
+		if d.Dst == 2 && d.At >= 8*sim.Microsecond {
+			t.Fatalf("delivery to dead rank 2 at t=%d", d.At)
+		}
+	}
+	rx := nw.SchedStats(2).RxDrops
+	if rx == 0 {
+		t.Fatal("no arrival was absorbed at the dead rank")
+	}
+	// Rank 2's own sends after death die at the source.
+	if nw.SchedStats(2).TxDrops == 0 {
+		t.Fatal("dead rank's departures were not dropped at source")
+	}
+	// Every survivor hears exactly one declaration, at death + detect.
+	detect := 4 * (nw.Cfg.Alpha + nw.Cfg.AckLatency)
+	want := fmt.Sprintf("t=%d", 8*sim.Microsecond+detect)
+	if len(decl) != 3 {
+		t.Fatalf("unreachable declarations = %v, want one per survivor", decl)
+	}
+	for _, d := range decl {
+		if !strings.HasPrefix(d, want) || !strings.HasSuffix(d, "->2") {
+			t.Fatalf("declaration %q, want prefix %q targeting rank 2", d, want)
+		}
+	}
+	if !nw.PeerUnreachable(0, 2) {
+		t.Error("PeerUnreachable(0,2) = false after the detection window")
+	}
+	if nw.PeerUnreachable(0, 1) {
+		t.Error("healthy rank 1 reported unreachable")
+	}
+}
+
+func TestScheduledFlapHoldsInOrder(t *testing.T) {
+	fs := FaultSchedule{Flaps: []LinkFlap{{Src: 0, Dst: 1, From: 0, For: 10 * sim.Microsecond}}}
+	flat, _, nw := runSchedWorld(t, fs, 0)
+	if nw.SchedStats(0).Delayed == 0 {
+		t.Fatal("flap window held no departures")
+	}
+	lift := 10*sim.Microsecond + nw.Cfg.Alpha
+	var last int64 = -1
+	for _, d := range flat {
+		if d.Src != 0 || d.Dst != 1 {
+			continue
+		}
+		if d.At < lift {
+			t.Fatalf("held packet arrived at t=%d, before lift+alpha=%d", d.At, lift)
+		}
+		if d.Payload <= last {
+			t.Fatalf("flap release broke per-link FIFO: %d after %d", d.Payload, last)
+		}
+		last = d.Payload
+	}
+	if last < 0 {
+		t.Fatal("no 0->1 traffic observed")
+	}
+}
+
+// Jitter must perturb arrivals without ever reordering a directed link, and
+// the whole schedule must be a pure function of the FaultSchedule.
+func TestScheduledJitterDeterministicFIFO(t *testing.T) {
+	fs := FaultSchedule{Seed: 7, Jitter: 900 * sim.Nanosecond}
+	a, _, _ := runSchedWorld(t, fs, 0)
+	b, _, _ := runSchedWorld(t, fs, 0)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same schedule, different delivery logs")
+	}
+	last := map[[2]int]int64{}
+	for _, d := range a {
+		key := [2]int{d.Src, d.Dst}
+		if prev, ok := last[key]; ok && d.Payload <= prev {
+			t.Fatalf("jitter reordered link %d->%d: %d after %d", d.Src, d.Dst, d.Payload, prev)
+		}
+		last[key] = d.Payload
+	}
+	fs.Seed = 8
+	c, _, _ := runSchedWorld(t, fs, 0)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different jitter seeds produced identical delivery logs (suspicious)")
+	}
+}
+
+// The tentpole property: the full adversary — death, flap, jitter — yields
+// bit-identical per-rank observables on the serial kernel and at any shard
+// count.
+func TestScheduleSerialShardedParity(t *testing.T) {
+	flat0, decl0, nw0 := runSchedWorld(t, kvSchedule(), 0)
+	for _, shards := range []int{1, 2, 4} {
+		flat, decl, nw := runSchedWorld(t, kvSchedule(), shards)
+		if fmt.Sprint(flat) != fmt.Sprint(flat0) {
+			t.Fatalf("-shards %d delivery log diverges from serial:\n%v\nvs\n%v", shards, flat, flat0)
+		}
+		if fmt.Sprint(decl) != fmt.Sprint(decl0) {
+			t.Fatalf("-shards %d declarations diverge: %v vs %v", shards, decl, decl0)
+		}
+		for r := 0; r < 4; r++ {
+			if nw.SchedStats(r) != nw0.SchedStats(r) {
+				t.Fatalf("-shards %d stats for rank %d diverge: %+v vs %+v",
+					shards, r, nw.SchedStats(r), nw0.SchedStats(r))
+			}
+		}
+	}
+}
+
+func TestScheduleDiag(t *testing.T) {
+	_, _, nw := runSchedWorld(t, kvSchedule(), 0)
+	diag := nw.FaultDiag(0)
+	for _, want := range []string{"rank 2 DEAD since t=8000", "detected", "link 0->1 flap", "sched stats:"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diag lacks %q:\n%s", want, diag)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	fresh := func() *Network { return NewNetwork(sim.NewKernel(), 2, DefaultConfig()) }
+	mustPanic("twice", func() {
+		nw := fresh()
+		nw.EnableSchedule(FaultSchedule{})
+		nw.EnableSchedule(FaultSchedule{})
+	})
+	mustPanic("after EnableFaults", func() {
+		nw := fresh()
+		nw.EnableFaults(DefaultFaultProfile(1))
+		nw.EnableSchedule(FaultSchedule{})
+	})
+	mustPanic("EnableFaults after", func() {
+		nw := fresh()
+		nw.EnableSchedule(FaultSchedule{})
+		nw.EnableFaults(DefaultFaultProfile(1))
+	})
+	mustPanic("death out of range", func() {
+		fresh().EnableSchedule(FaultSchedule{Deaths: []RankDeath{{Rank: 5, At: 0}}})
+	})
+	mustPanic("double death", func() {
+		fresh().EnableSchedule(FaultSchedule{Deaths: []RankDeath{{Rank: 1, At: 0}, {Rank: 1, At: 5}}})
+	})
+	mustPanic("self flap", func() {
+		fresh().EnableSchedule(FaultSchedule{Flaps: []LinkFlap{{Src: 1, Dst: 1, From: 0, For: 1}}})
+	})
+	mustPanic("empty flap window", func() {
+		fresh().EnableSchedule(FaultSchedule{Flaps: []LinkFlap{{Src: 0, Dst: 1, From: 0, For: 0}}})
+	})
+}
+
+// A zero-value schedule must behave exactly like the lossless fabric.
+func TestScheduleZeroValueLossless(t *testing.T) {
+	flat, decl, nw := runSchedWorld(t, FaultSchedule{}, 0)
+	if len(decl) != 0 {
+		t.Fatalf("lossless schedule declared peers unreachable: %v", decl)
+	}
+	want := 4 * 40
+	if len(flat) != want {
+		t.Fatalf("delivered %d packets, want %d", len(flat), want)
+	}
+	for r := 0; r < 4; r++ {
+		if s := nw.SchedStats(r); s != (SchedStats{}) {
+			t.Fatalf("rank %d injector activity on a lossless schedule: %+v", r, s)
+		}
+	}
+}

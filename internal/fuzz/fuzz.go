@@ -18,14 +18,18 @@ type Failure struct {
 	Mode     core.Mode
 	Lossy    bool      // failed over the fault-injecting fabric
 	Topo     topo.Kind // interconnect the run was routed over (Crossbar: default)
+	KV       bool      // failed in the chaos KV-store arm (see kv.go)
 	Problems []string
 }
 
 // String renders the failure with its reproduction recipe.
 func (f Failure) String() string {
 	extra := ""
+	if f.KV {
+		extra = " -mode kv"
+	}
 	if f.Lossy {
-		extra = " -lossy"
+		extra += " -lossy"
 	}
 	if f.Topo != topo.Crossbar {
 		extra += fmt.Sprintf(" -topo %s", f.Topo)
@@ -118,7 +122,7 @@ func Campaign(o Options) []Failure {
 	if modes == nil {
 		modes = BothModes
 	}
-	check := func(i int) []Failure {
+	return runCampaign(o, func(i int) []Failure {
 		seed := o.Seed + uint64(i)
 		var fs []Failure
 		for _, mode := range modes {
@@ -127,7 +131,13 @@ func Campaign(o Options) []Failure {
 			}
 		}
 		return fs
-	}
+	})
+}
+
+// runCampaign fans check(i) for i in [0, N) across Workers goroutines and
+// collects in index order: Report and Progress fire strictly in seed order,
+// so the transcript is byte-for-byte identical at any worker count.
+func runCampaign(o Options, check func(i int) []Failure) []Failure {
 	var failures []Failure
 	collect := func(i int, fs []Failure) {
 		failures = append(failures, fs...)

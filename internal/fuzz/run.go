@@ -118,17 +118,37 @@ func ExecuteTopo(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.
 // break the bit-identical transcript contract). The crossbar modes — the
 // bulk of a campaign — run genuinely sharded.
 func ExecuteShards(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.Kind, shards int) *RunResult {
-	cfg := fabric.DefaultConfig()
-	cfg.ProcsPerNode = p.ProcsPerNode
-	cfg.Topo = TopoSpec(kind, p.Seed)
 	if fp != nil || kind != topo.Crossbar {
 		shards = 0
 	}
+	return execute(p, mode, kind, shards, fp, nil)
+}
+
+// ExecuteScheduled is ExecuteShards under the deterministic scheduled-fault
+// adversary (fabric.FaultSchedule) instead of the randomized injector.
+// Unlike EnableFaults — one injector RNG stream, serial-only — the schedule
+// hashes each packet in its owning rank's shard context, so scheduled runs
+// execute genuinely sharded and the transcript must stay bit-identical at
+// any shard count (shard_test.go pins this).
+func ExecuteScheduled(p *Program, mode core.Mode, fs fabric.FaultSchedule, shards int) *RunResult {
+	return execute(p, mode, topo.Crossbar, shards, nil, &fs)
+}
+
+// execute is the shared executor body behind ExecuteShards/ExecuteScheduled.
+func execute(p *Program, mode core.Mode, kind topo.Kind, shards int, fp *fabric.FaultProfile, fs *fabric.FaultSchedule) *RunResult {
+	cfg := fabric.DefaultConfig()
+	cfg.ProcsPerNode = p.ProcsPerNode
+	cfg.Topo = TopoSpec(kind, p.Seed)
 	world := mpi.NewWorldShards(p.NRanks, cfg, shards)
 	if fp != nil {
 		world.Net.EnableFaults(*fp)
 	}
-	world.SetWatchdog(eventBudget(p, fp != nil, kind), 0)
+	if fs != nil {
+		world.Net.EnableSchedule(*fs)
+	}
+	// Scheduled flap/jitter runs get the lossy budget headroom too: held
+	// packets stretch the schedule the same way retransmissions do.
+	world.SetWatchdog(eventBudget(p, fp != nil || fs != nil, kind), 0)
 	world.EnableDiagnostics()
 	rt := core.NewRuntime(world)
 	rec := trace.NewRecorder()

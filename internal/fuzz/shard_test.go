@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
@@ -42,6 +44,37 @@ func TestShardedRunsMatchSerial(t *testing.T) {
 				got := shardFingerprint(ExecuteShards(p, mode, nil, topo.Crossbar, shards))
 				if got != serial {
 					t.Fatalf("seed %d mode %v: observable history differs between serial and %d shards\n--- serial ---\n%.2000s\n--- sharded ---\n%.2000s",
+						seed, mode, shards, serial, got)
+				}
+			}
+		}
+	}
+}
+
+// Scheduled faults (the deterministic adversary: link flaps and per-packet
+// jitter) run genuinely sharded — the schedule hashes packets in their
+// owning rank's shard context — so the whole observable history must stay
+// bit-identical at any shard count even while links flap mid-program.
+// Deaths are excluded here: an arbitrary generated epoch program does not
+// survive a dead collective peer; dead-rank shard parity is pinned by the
+// KV harness instead (CheckKVSeed, kvstore's TestKVSerialShardedParity).
+func TestScheduledFaultShardsMatchSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		p := Generate(seed)
+		fs := fabric.FaultSchedule{
+			Seed: seed,
+			Flaps: []fabric.LinkFlap{
+				{Src: 0, Dst: p.NRanks - 1, From: 30 * sim.Microsecond, For: 40 * sim.Microsecond},
+				{Src: p.NRanks - 1, Dst: 0, From: 90 * sim.Microsecond, For: 25 * sim.Microsecond},
+			},
+			Jitter: 700 * sim.Nanosecond,
+		}
+		for _, mode := range BothModes {
+			serial := shardFingerprint(ExecuteScheduled(p, mode, fs, 0))
+			for _, shards := range []int{2, 4, 8} {
+				got := shardFingerprint(ExecuteScheduled(p, mode, fs, shards))
+				if got != serial {
+					t.Fatalf("seed %d mode %v: scheduled-fault history differs between serial and %d shards\n--- serial ---\n%.2000s\n--- sharded ---\n%.2000s",
 						seed, mode, shards, serial, got)
 				}
 			}

@@ -1,0 +1,203 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// allModes are the three RMA modes every scenario must survive under.
+var allModes = []core.Mode{core.ModeVanilla, core.ModeNew, core.ModeFlush}
+
+// testOptions shrinks the default scenario so the full mode x shard matrix
+// stays fast under -race.
+func testOptions(mode core.Mode) Options {
+	opt := DefaultOptions()
+	opt.Mode = mode
+	opt.Clients = 4
+	opt.Keys = 64
+	opt.OpsPerClient = 32
+	return opt
+}
+
+// deathAt kills server rank 1 at the given virtual time.
+func deathAt(t sim.Time) fabric.FaultSchedule {
+	return fabric.FaultSchedule{
+		Seed:   5,
+		Deaths: []fabric.RankDeath{{Rank: 1, At: t}},
+	}
+}
+
+func TestKVHealthyRun(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			res := Run(testOptions(mode))
+			for _, v := range res.OracleViolations {
+				t.Errorf("oracle: %s", v)
+			}
+			total := res.Opt.Clients * res.Opt.OpsPerClient
+			if res.Acked != total {
+				t.Errorf("healthy run: %d/%d fully acked (degraded=%d shed=%d failed=%d)",
+					res.Acked, total, res.AckedDeg, res.ShedOps, res.FailedOps)
+			}
+			if res.WinsPoisoned != 0 || res.Retries != 0 {
+				t.Errorf("healthy run poisoned %d windows, %d retries", res.WinsPoisoned, res.Retries)
+			}
+		})
+	}
+}
+
+// The tentpole scenario: a server dies mid-run; every acknowledged write
+// must survive on the remaining copies, clients must fail over to the
+// replica, and the simulation must complete (no wedged waiter).
+func TestKVServerDeathZeroAckedWriteLoss(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			opt := testOptions(mode)
+			opt.Schedule = deathAt(400 * sim.Microsecond)
+			res := Run(opt)
+			for _, v := range res.OracleViolations {
+				t.Errorf("oracle: %s", v)
+			}
+			if res.Failovers == 0 {
+				t.Error("no request completed against the replica after the death")
+			}
+			if res.WinsPoisoned == 0 {
+				t.Error("no client window was poisoned by the death (fault never bit)")
+			}
+			if res.Acked+res.AckedDeg == 0 {
+				t.Error("nothing acknowledged at all")
+			}
+			// Graceful degradation, not collapse: clients keep serving after
+			// the event, so the last bin still acknowledges requests.
+			last := res.Bins[len(res.Bins)-1]
+			if last.Acked == 0 {
+				t.Errorf("final bin acknowledged nothing: %+v", last)
+			}
+		})
+	}
+}
+
+// A link flap (delay, not death) must cause at worst latency and retries,
+// never acked-write loss, and must not permanently suspect a live server
+// beyond the affected client's view.
+func TestKVLinkFlapDegradesGracefully(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			opt := testOptions(mode)
+			// Flap the link from client rank 4 (first client) to server 0
+			// for a window well under EpochTimeout: traffic is held, not
+			// lost, so requests ride it out inside their deadline.
+			opt.Schedule = fabric.FaultSchedule{
+				Seed:  11,
+				Flaps: []fabric.LinkFlap{{Src: opt.Servers, Dst: 0, From: 200 * sim.Microsecond, For: 150 * sim.Microsecond}},
+			}
+			res := Run(opt)
+			for _, v := range res.OracleViolations {
+				t.Errorf("oracle: %s", v)
+			}
+			if res.FailedOps != 0 || res.ShedOps != 0 {
+				t.Errorf("flap caused hard failures: failed=%d shed=%d", res.FailedOps, res.ShedOps)
+			}
+		})
+	}
+}
+
+// Killing a key range's primary AND replica exhausts error budgets: the
+// affected clients must shed load and report degraded mode instead of
+// hanging or failing the run.
+func TestKVTotalKeyLossShedsLoad(t *testing.T) {
+	opt := testOptions(core.ModeNew)
+	opt.ErrBudget = 1
+	opt.Schedule = fabric.FaultSchedule{
+		Seed: 9,
+		Deaths: []fabric.RankDeath{
+			{Rank: 1, At: 300 * sim.Microsecond},
+			{Rank: 2, At: 320 * sim.Microsecond},
+		},
+	}
+	res := Run(opt)
+	for _, v := range res.OracleViolations {
+		t.Errorf("oracle: %s", v)
+	}
+	if res.ShedOps == 0 {
+		t.Error("no load was shed with two of four servers dead")
+	}
+	if res.DegradedCli == 0 {
+		t.Error("no client exhausted its error budget")
+	}
+	if res.Acked+res.AckedDeg == 0 {
+		t.Error("keys on surviving servers stopped being served")
+	}
+}
+
+// The scenario is a pure function of its Options: same seed, same Result;
+// different seed, different traffic.
+func TestKVDeterministicAcrossRuns(t *testing.T) {
+	opt := testOptions(core.ModeNew)
+	opt.Schedule = deathAt(400 * sim.Microsecond)
+	a, b := Run(opt), Run(opt)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same options, different results:\n%s\nvs\n%s", a, b)
+	}
+	opt.Seed++
+	c := Run(opt)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+// Bit-identical results at any shard count, including across the fault
+// event — the first chaos scenario that runs on the sharded kernel.
+func TestKVSerialShardedParity(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			opt := testOptions(mode)
+			opt.Schedule = deathAt(400 * sim.Microsecond)
+			base := Run(opt)
+			base.Opt.Shards = 0
+			for _, shards := range []int{2, 4} {
+				o := opt
+				o.Shards = shards
+				res := Run(o)
+				res.Opt.Shards = 0
+				if fmt.Sprint(res) != fmt.Sprint(base) {
+					t.Fatalf("-shards %d diverges from serial:\n%s\nvs\n%s", shards, res, base)
+				}
+			}
+		})
+	}
+}
+
+// Latency bins must show the fault: p99 around the death event exceeds the
+// healthy baseline (the plot epochbench -fig kv renders).
+func TestKVLatencySeriesShowsFault(t *testing.T) {
+	opt := testOptions(core.ModeNew)
+	opt.BinWidth = 200 * sim.Microsecond
+	healthy := Run(opt)
+	opt.Schedule = deathAt(400 * sim.Microsecond)
+	// A slow failure detector makes the failover stall visible: requests
+	// caught talking to the dead server block until the declaration.
+	opt.Schedule.DetectDelay = 300 * sim.Microsecond
+	faulty := Run(opt)
+	maxP99 := func(r *Result) sim.Time {
+		var m sim.Time
+		for _, b := range r.Bins {
+			if b.P99 > m {
+				m = b.P99
+			}
+		}
+		return m
+	}
+	if maxP99(faulty) <= maxP99(healthy) {
+		t.Errorf("fault did not move p99: healthy max %v, faulty max %v",
+			maxP99(healthy), maxP99(faulty))
+	}
+}

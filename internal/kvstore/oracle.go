@@ -1,0 +1,111 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The oracle checks the scenario's two safety properties against the
+// sequential ground truth reconstructible from the per-client logs:
+//
+//  1. Zero acknowledged-write loss: for every acknowledged write and every
+//     surviving server the client recorded as holding it, that server's
+//     slot must carry a version at least as new. (OpMax propagation means
+//     an acked write can only be superseded by a numerically larger
+//     version, never silently dropped.)
+//  2. No fabricated state: every nonzero slot value in surviving server
+//     memory, and every value returned by an acknowledged read, must be a
+//     value some client actually attempted to write (acknowledged or not —
+//     an errored attempt may still have landed).
+//
+// Dead servers (any rank with a scheduled death) are excluded: their
+// memory is not part of the surviving store.
+
+// verify runs the oracle and returns human-readable violations (empty on a
+// correct run). Deterministic: all iteration is in (client, index) or
+// sorted-key order.
+func verify(opt Options, logs [][]opRec, atts [][]attempt, snaps [][]byte) []string {
+	attempted := make(map[int]map[uint64]bool, opt.Keys)
+	for _, as := range atts {
+		for _, a := range as {
+			m := attempted[a.Key]
+			if m == nil {
+				m = make(map[uint64]bool)
+				attempted[a.Key] = m
+			}
+			m[a.Slot] = true
+		}
+	}
+
+	dead := make(map[int]bool)
+	for _, d := range opt.Schedule.Deaths {
+		dead[d.Rank] = true
+	}
+
+	// maxAcked[key][server] is the newest slot value some client was
+	// acknowledged as having stored on that server.
+	maxAcked := make(map[int]map[int]uint64)
+	for _, log := range logs {
+		for _, rec := range log {
+			if !rec.Write || (rec.Outcome != AckFull && rec.Outcome != AckDegraded) {
+				continue
+			}
+			for _, srv := range rec.Holders {
+				if srv < 0 {
+					continue
+				}
+				m := maxAcked[rec.Key]
+				if m == nil {
+					m = make(map[int]uint64)
+					maxAcked[rec.Key] = m
+				}
+				if rec.Slot > m[srv] {
+					m[srv] = rec.Slot
+				}
+			}
+		}
+	}
+
+	var out []string
+	slotOf := func(srv int, off int64) uint64 { return leU64(snaps[srv][off : off+slotBytes]) }
+	check := func(k, srv int, off int64, region string) {
+		cur := slotOf(srv, off)
+		if cur != 0 && !attempted[k][cur] {
+			out = append(out, fmt.Sprintf(
+				"key %d %s on server %d holds %#x: never attempted by any client", k, region, srv, cur))
+		}
+		if want := maxAcked[k][srv]; cur < want {
+			out = append(out, fmt.Sprintf(
+				"key %d %s on server %d holds %#x < acknowledged %#x: acked write lost",
+				k, region, srv, cur, want))
+		}
+	}
+	keys := make([]int, 0, len(maxAcked))
+	for k := range attempted {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if h := opt.home(k); !dead[h] {
+			check(k, h, primOff(k), "primary")
+		}
+		if r := opt.replica(k); !dead[r] {
+			check(k, r, replOff(opt.Keys, k), "replica")
+		}
+	}
+
+	// Acknowledged reads must observe attempted-or-initial values.
+	for ci, log := range logs {
+		for _, rec := range log {
+			if rec.Write || (rec.Outcome != AckFull && rec.Outcome != AckDegraded) {
+				continue
+			}
+			if rec.Slot != 0 && !attempted[rec.Key][rec.Slot] {
+				out = append(out, fmt.Sprintf(
+					"client %d op %d read %#x from key %d: never attempted by any client",
+					ci, rec.Idx, rec.Slot, rec.Key))
+			}
+		}
+	}
+	return out
+}
