@@ -67,6 +67,8 @@ var experiments = []experiment{
 		func(n int) fmt.Stringer { return bench.FigKV(n) }},
 	{"modes", "repo extension", "Three-way mode comparison: Late Unlock under vanilla, new (blocking/nonblocking) and flush windows",
 		func(n int) fmt.Stringer { return bench.FigModes(n) }},
+	{"signal", "repo extension", "Counter-signal transport: epoch open/close latency vs GATS across message sizes and 1/2/4 NIC rails",
+		func(n int) fmt.Stringer { return bench.FigSignal(n) }},
 	{"scale", "repo extension", "Scaling: GATS epoch at 64-512 ranks on a fixed-core fat-tree, congestion-attributed",
 		func(n int) fmt.Stringer { return bench.FigScale(n) }},
 	{"scale1k", "repo extension", "Scaling, deep point: the 1024-rank cell (run with -shards to make it cheap)",

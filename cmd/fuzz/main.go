@@ -18,11 +18,21 @@
 //	go run ./cmd/fuzz -n 200 -lossy          # drops/dups/flaps under the ARQ
 //	go run ./cmd/fuzz -n 100 -topo fattree   # route over a congested fat-tree
 //	go run ./cmd/fuzz -n 100 -mode flush     # epochless flush-mode programs
+//	go run ./cmd/fuzz -n 100 -mode signal    # counter-signal epoch transport
 //
 // With -mode flush, programs come from fuzz.GenerateFlush — epochless
 // lock/lock_all/flush-burst conversations exercising core.ModeFlush and its
 // foMPI-style scalable lock protocol, with a flush-specific end-state check
 // on top of the usual battery.
+//
+// With -mode signal, the same epoch programs run under both models but every
+// window rides the counter-signal epoch transport (core.TransportSignal):
+// grants and dones travel as one-sided 16-byte counter-replica writes with a
+// seed-derived starting base, most seeds placed a few steps below the uint64
+// wrap so the serial-number arithmetic is exercised mid-program. The full
+// battery applies unchanged, plus a conservation check that every replica
+// write sent was merged or discarded as stale. Composes with -lossy, -topo
+// and -shards.
 //
 // With -mode kv, seeds derive chaos scenarios for the replicated KV store
 // (internal/kvstore) instead of epoch programs: scheduled server deaths,
@@ -61,7 +71,7 @@ import (
 func main() {
 	n := flag.Int("n", 100, "number of programs (consecutive seeds)")
 	seed := flag.Uint64("seed", 1, "first seed")
-	mode := flag.String("mode", "both", "modes to run: both, new, vanilla, flush or all")
+	mode := flag.String("mode", "both", "modes to run: both, new, vanilla, flush, signal, kv or all")
 	lossy := flag.Bool("lossy", false, "inject seeded fabric faults (recoverable schedule) under every run")
 	topoFlag := flag.String("topo", "", "route every run over a modeled interconnect: ring, torus or fattree (default: crossbar)")
 	verbose := flag.Bool("v", false, "describe each program as it runs")
@@ -82,6 +92,7 @@ func main() {
 	}
 
 	var modes []core.Mode
+	signal := false
 	switch *mode {
 	case "both":
 		modes = fuzz.BothModes
@@ -91,10 +102,13 @@ func main() {
 		modes = []core.Mode{core.ModeVanilla}
 	case "flush":
 		modes = []core.Mode{core.ModeFlush}
+	case "signal":
+		modes = fuzz.BothModes
+		signal = true
 	case "all":
 		modes = append(append([]core.Mode(nil), fuzz.BothModes...), core.ModeFlush)
 	default:
-		fmt.Fprintf(os.Stderr, "fuzz: unknown -mode %q (want both, new, vanilla, flush, kv or all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "fuzz: unknown -mode %q (want both, new, vanilla, flush, signal, kv or all)\n", *mode)
 		stop()
 		os.Exit(2)
 	}
@@ -105,6 +119,7 @@ func main() {
 		Modes:  modes,
 		Lossy:  *lossy,
 		Topo:   kind,
+		Signal: signal,
 		Shards: bench.Shards(),
 		Report: func(s uint64, fs []fuzz.Failure) {
 			if *verbose {
@@ -137,6 +152,9 @@ func main() {
 	}
 	if kind != topo.Crossbar {
 		fabricKind += fmt.Sprintf(" (%s interconnect)", kind)
+	}
+	if signal {
+		fabricKind += ", counter-signal transport"
 	}
 	fmt.Printf("ok: %d programs x %d mode(s) over %s, all invariants held\n", *n, len(modes), fabricKind)
 	stop()

@@ -147,6 +147,7 @@ func main() {
 		}
 		check("kernel events/sec", base.KernelEventsPerSec, cur.KernelEventsPerSec)
 		check("fabric packets/sec", base.FabricPacketsPerSec, cur.FabricPacketsPerSec)
+		check("signal ops/sec", base.SignalOpsPerSec, cur.SignalOpsPerSec)
 		check("handoff ops/sec", base.HandoffOpsPerSec, cur.HandoffOpsPerSec)
 		check("task-step ops/sec", base.TaskStepOpsPerSec, cur.TaskStepOpsPerSec)
 		budget := func(name string, v float64) {
@@ -157,6 +158,7 @@ func main() {
 		}
 		budget("kernel allocs/event", cur.KernelAllocsPerEvent)
 		budget("fabric allocs/packet", cur.FabricAllocsPerPacket)
+		budget("signal allocs/op", cur.SignalAllocsPerOp)
 		budget("task-step allocs/op", cur.TaskStepAllocsPerOp)
 		if failed {
 			fatal(stop, "perfgate: FAIL (tolerance %.0f%%)", *maxReg*100)

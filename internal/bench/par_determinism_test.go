@@ -17,6 +17,7 @@ func renderFigureSample(iters int) string {
 	tt, ct := Fig13LU([]int{2, 4}, LUParams{M: 64, FlopNs: 20})
 	return Fig2LatePost(iters).String() +
 		FigModes(iters).String() +
+		FigSignal(iters).String() +
 		Fig7AAARGats(iters).String() +
 		Fig12Transactions([]int{4, 8}, txn).String() +
 		tt.String() + ct.String() +

@@ -43,6 +43,15 @@ type KernelPerf struct {
 	FabricPacketsPerSec   float64 `json:"fabric_packets_per_sec"`
 	FabricAllocsPerPacket float64 `json:"fabric_allocs_per_packet"`
 
+	// SignalOpsPerSec pumps 16-byte KindSignal packets — the wire form of
+	// every grant/done on the counter-signal transport — down the dedicated
+	// control rail of a multi-rail NIC; its exact allocation budget is zero
+	// (the zero-fault signal hot path must not touch the heap). Zero
+	// baselines are ignored by the gate, so the field is backward
+	// compatible.
+	SignalOpsPerSec   float64 `json:"signal_ops_per_sec,omitempty"`
+	SignalAllocsPerOp float64 `json:"signal_allocs_per_op"`
+
 	// FigureRegenMs regenerates a fixed figure sample with the configured
 	// worker count; FigureRegenSerialMs is the same sample with one worker.
 	FigureRegenMs       float64 `json:"figure_regen_ms"`
@@ -166,6 +175,31 @@ func MeasureKernelPerf() KernelPerf {
 	}
 	p.FabricPacketsPerSec = packets / time.Since(start).Seconds()
 	p.FabricAllocsPerPacket = testing.AllocsPerRun(200, fpump)
+
+	// Counter-signal control path: 16-byte replica writes down the dedicated
+	// control rail of a 2-channel NIC (rail selection, per-rail credits and
+	// per-rail ARQ state all in the measured loop).
+	sk := sim.NewKernel()
+	scfg := Config()
+	scfg.Channels = 2
+	snw := fabric.NewNetwork(sk, 2, scfg)
+	snw.SetHandler(1, func(*fabric.Packet) {})
+	spump := func() {
+		pkt := snw.AllocPacket()
+		pkt.Src, pkt.Dst, pkt.Kind, pkt.Size = 0, 1, fabric.KindSignal, 16
+		snw.Send(pkt)
+		sk.Drain()
+	}
+	for i := 0; i < 1000; i++ { // warmup: pools, rail tables
+		spump()
+	}
+	const sigs = 200_000
+	start = time.Now()
+	for i := 0; i < sigs; i++ {
+		spump()
+	}
+	p.SignalOpsPerSec = sigs / time.Since(start).Seconds()
+	p.SignalAllocsPerOp = testing.AllocsPerRun(200, spump)
 
 	// Figure regeneration, parallel then serial. FigModes keeps the flush-
 	// mode path (core.ModeFlush + the scalable lock protocol) inside the

@@ -18,7 +18,8 @@ import (
 // engine on the dedicated fabric stage, congestion counters).
 func renderShardSample(iters int) string {
 	tt, ct := Fig13LU([]int{2, 4}, LUParams{M: 64, FlopNs: 20})
-	out := Fig2LatePost(iters).String() + FigModes(iters).String() + tt.String() + ct.String()
+	out := Fig2LatePost(iters).String() + FigModes(iters).String() +
+		FigSignal(iters).String() + tt.String() + ct.String()
 	for _, n := range []int{16, 32} {
 		for _, s := range []Series{SeriesNewNB, SeriesFlush} {
 			c := scaleCell(n, s, iters)

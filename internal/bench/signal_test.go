@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestSignalShape pins the acceptance shape of the signal figure: the
+// counter-signal transport closes epochs strictly faster than GATS at every
+// message size (the saved remote-acknowledgment round), and adding data
+// rails wins big on large transfers (striping) while leaving the small-
+// message latency untouched (sub-threshold puts ride one rail whole).
+func TestSignalShape(t *testing.T) {
+	tab := FigSignal(2)
+	for _, row := range tab.Rows {
+		g, s := tab.Get(row, "GATS"), tab.Get(row, "signal")
+		if g <= 0 || s <= 0 {
+			t.Fatalf("%s: non-positive latency (GATS=%v signal=%v)", row, g, s)
+		}
+		if s >= g {
+			t.Errorf("%s: signal (%v us) not strictly below GATS (%v us)", row, s, g)
+		}
+	}
+	small := sizeLabel(4)
+	if r2 := tab.Get(small, "signal 2 rails"); r2 != tab.Get(small, "signal") {
+		t.Errorf("4B: extra rails changed small-message latency: %v vs %v",
+			r2, tab.Get(small, "signal"))
+	}
+	big := sizeLabel(1 << 20)
+	s1 := tab.Get(big, "signal")
+	s2 := tab.Get(big, "signal 2 rails")
+	s4 := tab.Get(big, "signal 4 rails")
+	if s2 >= 0.75*s1 {
+		t.Errorf("1MB: 2 rails gave no striping win: %v vs %v us", s2, s1)
+	}
+	if s4 >= s2 {
+		t.Errorf("1MB: 4 rails (%v us) not below 2 rails (%v us)", s4, s2)
+	}
+}

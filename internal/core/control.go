@@ -19,6 +19,7 @@ const (
 	ctlDone                       // access-epoch done (value = access id)
 	ctlLockReq                    // lock request (value = 1 for shared)
 	ctlUnlock                     // lock release
+	ctlUserSig                    // user-level signal (value = cumulative count; signal.go)
 )
 
 // packWord encodes a control word: kind(4) | win(10) | src(18) | value(32).
@@ -58,6 +59,23 @@ func (e *Engine) control(w *Window, dst int, kind ctlKind, value int64) {
 		e.rt.world.Rank(dst).Wake.Fire()
 		return
 	}
+	if w.transport == TransportSignal && (kind == ctlGrant || kind == ctlDone) {
+		// Counter-signal wire representation: the cumulative value rides
+		// as a raw (sigBase-offset) replica write on the grant or done
+		// channel. Grants and dones are exactly the monotone cumulative
+		// counters the signal algebra wants; lock requests/releases are
+		// commands, not counters, and keep their typed packets.
+		ch := int64(sigGrant)
+		if kind == ctlDone {
+			ch = sigDone
+		}
+		p := net.AllocPacketAt(me)
+		p.Src, p.Dst, p.Kind, p.Size = me, dst, fabric.KindSignal, sigBytes
+		p.Arg = [4]int64{w.id, ch, int64(w.sigBase + uint64(value)), 0}
+		w.stats.SignalsSent++
+		net.Send(p)
+		return
+	}
 	var fk fabric.Kind
 	switch kind {
 	case ctlGrant:
@@ -92,6 +110,10 @@ func (e *Engine) applyControl(kind ctlKind, w *Window, src int, value int64) {
 		e.lockBacklog = append(e.lockBacklog, lockWork{w: w, src: src, shared: value == 1, release: false})
 	case ctlUnlock:
 		e.lockBacklog = append(e.lockBacklog, lockWork{w: w, src: src, release: true})
+	case ctlUserSig:
+		// Intranode user signal: the FIFO word carries the logical count;
+		// re-base it into the raw replica space before the merge.
+		w.applySignal(src, sigUser, w.sigBase+uint64(value))
 	default:
 		e.raisef("bad control kind %d from %d (win %d)", kind, src, w.id)
 	}

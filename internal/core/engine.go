@@ -242,6 +242,11 @@ func (e *Engine) nicDeliver(p *fabric.Packet) {
 		fillResult(wo.op, p)
 		wo.eng.opDelivered(wo.op)
 
+	case fabric.KindSignal:
+		// One-sided counter-replica write (signal.go): the NIC merges the
+		// raw value into the local replica and dispatches if it is newer.
+		e.win(p.Arg[0]).applySignal(p.Src, int(p.Arg[1]), uint64(p.Arg[2]))
+
 	case fabric.KindPostNotify, fabric.KindLockGrant:
 		e.applyControl(ctlGrant, e.win(p.Arg[0]), p.Src, p.Arg[1])
 

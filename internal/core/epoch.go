@@ -33,6 +33,8 @@ type Epoch struct {
 	recLive    int              // recorded-but-unissued op count
 	pending    map[int]int      // issued-but-incomplete op count per target
 	pendingAll int              // total issued-but-incomplete ops
+	locPend    map[int]int      // issued-but-not-locally-complete count per target (signal gating)
+	locPendAll int              // total issued-but-not-locally-complete ops
 	usedTarget map[int]bool     // targets this epoch actually communicated with
 	donePosted map[int]bool     // done/unlock packet posted per target
 	doneCount  int              // number of done/unlock packets posted
@@ -194,7 +196,18 @@ func (ep *Epoch) accessSideDone() bool {
 	if !ep.kind.isAccessRole() {
 		return true
 	}
-	if !ep.activated || !ep.closedApp || ep.recLive > 0 || ep.pendingAll > 0 {
+	if !ep.activated || !ep.closedApp || ep.recLive > 0 {
+		return false
+	}
+	// Under signal-transport local-completion gating the origin side is
+	// done at wire completion (MPI_WIN_COMPLETE requires only local
+	// completion); the default plane waits for remote completion, whose
+	// ack doubles as the implicit done-ordering proof.
+	if ep.win.sigLocalGate() {
+		if ep.locPendAll > 0 {
+			return false
+		}
+	} else if ep.pendingAll > 0 {
 		return false
 	}
 	return ep.doneCount == ep.doneTargetCount()

@@ -293,6 +293,9 @@ func (e *Engine) peerUnreachable(peer int) {
 	for _, w := range e.winList {
 		w.abortOnDeadPeer(peer)
 	}
+	// Wake the rank even when no epoch aborted: a WaitSignal spin on the
+	// dead peer has no epoch to fail it and must re-evaluate its predicate.
+	e.rank.Wake.Fire()
 }
 
 // peerDead reports whether this rank knows peer to be unreachable, either

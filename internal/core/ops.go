@@ -38,6 +38,7 @@ type rmaOp struct {
 	localDone  bool // payload left the origin buffer (wire transmission done)
 	remoteDone bool // transfer fulfilled at the target (and response received)
 	ctsWait    bool // large accumulate waiting for its rendezvous CTS
+	sigDone    bool // counted out of the epoch's local-completion gate (signal.go)
 }
 
 // addOp validates, records and (when possible) immediately issues an op.
@@ -154,6 +155,13 @@ func (e *Engine) issue(o *rmaOp) {
 	o.issued = true
 	ep.pending[o.target]++
 	ep.pendingAll++
+	if ep.win.sigLocalGate() {
+		if ep.locPend == nil {
+			ep.locPend = make(map[int]int, len(ep.pending))
+		}
+		ep.locPend[o.target]++
+		ep.locPendAll++
+	}
 	if o.target == e.rank.ID {
 		// Self communication: fulfilled through the loopback path below.
 		e.deliverSelf(o)
@@ -214,6 +222,35 @@ func (e *Engine) opLocalDone(o *rmaOp) {
 	}
 	o.localDone = true
 	o.ep.win.settleFlushes(o, true)
+	if o.class == opPut || o.class == opAcc {
+		// One-directional transfers are origin-complete at wire completion;
+		// fetch classes stay gated on their response (result landed).
+		e.opSigDone(o)
+	}
+	e.rank.Wake.Fire()
+}
+
+// opSigDone counts op o out of its epoch's local-completion gate (no-op
+// outside signal-transport ModeNew windows; see signal.go). Firing the done
+// signal here — at wire completion, before the remote ack — is safe because
+// the NIC's per-peer ordering queues the signal behind the op's data, so
+// the target still observes data before done; and MPI_WIN_COMPLETE only
+// requires local completion on the origin side.
+func (e *Engine) opSigDone(o *rmaOp) {
+	ep := o.ep
+	if o.sigDone || !ep.win.sigLocalGate() {
+		return
+	}
+	o.sigDone = true
+	ep.locPend[o.target]--
+	ep.locPendAll--
+	if ep.locPend[o.target] < 0 || ep.locPendAll < 0 {
+		ep.win.raisef("local-completion accounting went negative on %s (target %d)", ep, o.target)
+	}
+	if ep.closedApp {
+		ep.maybePostDone(o.target)
+		ep.maybeComplete()
+	}
 	e.rank.Wake.Fire()
 }
 
@@ -238,6 +275,7 @@ func (e *Engine) opDelivered(o *rmaOp) {
 	if o.req != nil {
 		o.req.Complete()
 	}
+	e.opSigDone(o) // fetch classes reach local completion with the response
 	if ep.win.mode != ModeVanilla && ep.closedApp {
 		ep.maybePostDone(o.target)
 		ep.maybeComplete()
@@ -257,7 +295,17 @@ func (ep *Epoch) maybePostDone(t int) {
 	if !ep.activated || !ep.closedApp || ep.donePosted[t] {
 		return
 	}
-	if ep.pending[t] > 0 || ep.recordedFor(t) > 0 {
+	if ep.recordedFor(t) > 0 {
+		return
+	}
+	if ep.win.sigLocalGate() {
+		// Signal transport: the done/unlock may ride as soon as the last
+		// transfer toward t is on the wire — the NIC's per-peer FIFO keeps
+		// it behind the data (see opSigDone).
+		if ep.locPend[t] > 0 {
+			return
+		}
+	} else if ep.pending[t] > 0 {
 		return
 	}
 	switch ep.kind {
@@ -269,6 +317,12 @@ func (ep *Epoch) maybePostDone(t int) {
 		ep.doneCount++
 		if !ep.noCheck {
 			ep.win.eng.sendUnlock(ep.win, t)
+		} else if ep.win.transport == TransportSignal {
+			// Lock-free notify variant: a NOCHECK passive epoch on the
+			// signal transport closes by bumping the target's user-signal
+			// replica instead of engaging the lock agent at all — the
+			// target observes the notify with WaitSignal/SignalCount.
+			ep.win.sendUserSignal(t)
 		}
 	case EpochAccess, EpochFence:
 		if ep.usedTarget[t] && !ep.granted(t) {

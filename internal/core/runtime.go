@@ -61,6 +61,16 @@ type WinOptions struct {
 	// ErrTimeout (or ErrRankUnreachable when a dead peer is implicated).
 	// 0 — the default — disables the watchdog, matching MPI semantics.
 	EpochTimeout sim.Time
+	// Transport selects the control-plane representation (signal.go):
+	// TransportGATS (default) carries typed 8-byte control packets;
+	// TransportSignal carries grant/done notifications as one-sided
+	// counter-replica writes and — under ModeNew — completes access
+	// epochs at local (wire) completion. Collective.
+	Transport Transport
+	// SignalBase seeds the raw signal counters (signal.go). Zero by
+	// default; tests seed it near ^uint64(0) to exercise wraparound.
+	// Collective: every rank must pass the same value.
+	SignalBase uint64
 	// FlushMaster selects the rank hosting a ModeFlush window's global
 	// lock counters (the foMPI protocol's master; 0 by default). Collective
 	// like every option: all ranks must pass the same value. Serving
@@ -101,6 +111,9 @@ func (rt *Runtime) CreateWindowNC(r *mpi.Rank, size int64, opt WinOptions) *Wind
 		chkCfl:  opt.CheckConflicts,
 		timeout: opt.EpochTimeout,
 		peers:   newPeerTable(rt.world.Size(), &eng.arena),
+
+		transport: opt.Transport,
+		sigBase:   opt.SignalBase,
 	}
 	eng.nextWinID++
 	if !opt.ShapeOnly {

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestSigNewerWraparound pins the serial-number comparison across the
+// uint64 wrap: a counter stepping past ^uint64(0) must keep ordering.
+func TestSigNewerWraparound(t *testing.T) {
+	max := ^uint64(0)
+	cases := []struct {
+		a, b uint64
+		want bool
+	}{
+		{1, 0, true},
+		{0, 1, false},
+		{5, 5, false},
+		{0, max, true},        // wrapped successor is newer
+		{max, 0, false},
+		{max - 2, max - 3, true},
+		{3, max - 3, true},    // 7 steps across the wrap
+		{max - 3, 3, false},
+	}
+	for _, c := range cases {
+		if got := sigNewer(c.a, c.b); got != c.want {
+			t.Errorf("sigNewer(%d, %d) = %t, want %t", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// signalHandshake runs one internode GATS handshake (Start/Put/Complete vs
+// Post/Wait) and reports the target's received payload, the virtual times
+// at which origin Complete and target WaitEpoch returned, and the origin's
+// window stats.
+func signalHandshake(t *testing.T, opt WinOptions, size int64) (got []byte, completeAt, waitAt sim.Time, st WindowStats) {
+	t.Helper()
+	w, rt := testWorld(t, 2)
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, size+64, opt)
+		if r.ID == 0 {
+			win.Start([]int{1})
+			win.Put(1, 0, payload, size)
+			win.Complete()
+			completeAt = r.Now()
+			st = win.Stats()
+		} else {
+			win.Post([]int{0})
+			win.WaitEpoch()
+			waitAt = r.Now()
+			got = append([]byte(nil), win.Bytes()[:size]...)
+		}
+		win.Quiesce()
+		r.Barrier()
+	})
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("target byte %d = %d, want %d", i, got[i], payload[i])
+		}
+	}
+	return got, completeAt, waitAt, st
+}
+
+// TestSignalTransportHandshake proves the counter-signal re-expression of
+// the GATS handshake: same data semantics as the typed control plane, with
+// both the origin's Complete and the target's Wait strictly earlier — the
+// local-completion gating saves the remote-ack round on the origin and
+// moves the done signal to wire completion for the target.
+func TestSignalTransportHandshake(t *testing.T) {
+	_, gatsC, gatsW, _ := signalHandshake(t, WinOptions{Mode: ModeNew}, 4096)
+	_, sigC, sigW, st := signalHandshake(t,
+		WinOptions{Mode: ModeNew, Transport: TransportSignal}, 4096)
+	if sigC >= gatsC {
+		t.Errorf("signal Complete at %dus, not below GATS %dus",
+			sigC/sim.Microsecond, gatsC/sim.Microsecond)
+	}
+	if sigW >= gatsW {
+		t.Errorf("signal Wait at %dus, not below GATS %dus",
+			sigW/sim.Microsecond, gatsW/sim.Microsecond)
+	}
+	if st.SignalsSent == 0 {
+		t.Error("origin sent no counter-replica writes on the signal transport")
+	}
+}
+
+// TestSignalTransportVanilla pins that vanilla mode accepts the signal wire
+// representation (grants/dones as replica writes) while keeping its own
+// remote-completion gating and data semantics.
+func TestSignalTransportVanilla(t *testing.T) {
+	signalHandshake(t, WinOptions{Mode: ModeVanilla, Transport: TransportSignal}, 2048)
+}
+
+// TestSignalBaseWraparoundInvariance is the counter-wraparound regression:
+// the same program seeded with a base 3 steps below ^uint64(0) — so every
+// grant/done/user counter crosses the wrap mid-run — must produce the same
+// bytes, the same virtual times and the same stats as base 0.
+func TestSignalBaseWraparoundInvariance(t *testing.T) {
+	run := func(base uint64) string {
+		w, rt := testWorld(t, 3)
+		var log string
+		runJob(t, w, func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 512, WinOptions{
+				Mode: ModeNew, Transport: TransportSignal, SignalBase: base,
+			})
+			// 8 pipelined epochs: counters advance well past any 3-step
+			// distance to the wrap on every channel.
+			for i := 0; i < 8; i++ {
+				if r.ID == 0 {
+					win.Start([]int{1, 2})
+					win.Put(1, int64(i), []byte{byte(i + 1)}, 1)
+					win.Put(2, int64(i), []byte{byte(i + 2)}, 1)
+					win.Complete()
+					win.Signal(1)
+				} else {
+					win.Post([]int{0})
+					win.WaitEpoch()
+				}
+			}
+			if r.ID == 1 {
+				win.WaitSignal(0, 8)
+			}
+			win.Quiesce()
+			r.Barrier()
+			if r.ID == 1 {
+				st := win.Stats()
+				log = fmt.Sprintf("t=%d buf=%x sig=%d recv=%d stale=%d",
+					r.Now(), win.Bytes()[:8], win.SignalCount(0), st.SignalsRecv, st.SignalsStale)
+			}
+		})
+		return log
+	}
+	zero, wrap := run(0), run(^uint64(0)-3)
+	if zero != wrap {
+		t.Fatalf("wraparound base changed observables:\n base 0:    %s\n near-wrap: %s", zero, wrap)
+	}
+	if zero == "" {
+		t.Fatal("probe rank recorded nothing")
+	}
+}
+
+// TestSignalStaleDiscard pins replica-write idempotence directly: a
+// duplicated and a reordered (older) write must be discarded without
+// advancing the replica or re-dispatching.
+func TestSignalStaleDiscard(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{
+			Mode: ModeNew, Transport: TransportSignal, SignalBase: ^uint64(0) - 1,
+		})
+		if r.ID == 0 {
+			base := win.sigBase
+			win.applySignal(1, sigUser, base+3) // fresh: count 3
+			win.applySignal(1, sigUser, base+3) // exact duplicate
+			win.applySignal(1, sigUser, base+1) // reordered older write
+			win.applySignal(1, sigUser, base+4) // fresh again
+			if got := win.SignalCount(1); got != 4 {
+				t.Errorf("SignalCount = %d, want 4", got)
+			}
+			st := win.Stats()
+			if st.SignalsRecv != 2 || st.SignalsStale != 2 {
+				t.Errorf("recv=%d stale=%d, want 2/2", st.SignalsRecv, st.SignalsStale)
+			}
+		}
+		win.Quiesce()
+		r.Barrier()
+	})
+}
+
+// TestSignalUserChannel drives Signal/WaitSignal across the three routes:
+// internode replica write, intranode FIFO word, and self-application.
+func TestSignalUserChannel(t *testing.T) {
+	cfg := fabric.DefaultConfig()
+	cfg.ProcsPerNode = 2 // ranks 0,1 share a node; rank 2 is internode
+	w := mpi.NewWorld(3, cfg)
+	rt := NewRuntime(w)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Transport: TransportSignal})
+		switch r.ID {
+		case 0:
+			win.Signal(1) // intranode FIFO
+			win.Signal(1)
+			win.Signal(2) // internode replica write
+			win.Signal(0) // self
+			if got := win.SignalCount(0); got != 1 {
+				t.Errorf("self SignalCount = %d, want 1", got)
+			}
+		case 1:
+			win.WaitSignal(0, 2)
+			if got := win.SignalCount(0); got != 2 {
+				t.Errorf("rank 1 SignalCount = %d, want 2", got)
+			}
+		case 2:
+			win.WaitSignal(0, 1)
+		}
+		win.Quiesce()
+		r.Barrier()
+	})
+}
+
+// TestSignalNoCheckLockNotify pins the lock-free passive-target variant: a
+// NOCHECK lock epoch on the signal transport never touches the target's
+// lock agent, and its close bumps the target's user-signal replica behind
+// the epoch's data — the target synchronizes with WaitSignal alone.
+func TestSignalNoCheckLockNotify(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	payload := []byte("lock-free notify")
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 256, WinOptions{Mode: ModeNew, Transport: TransportSignal})
+		if r.ID == 0 {
+			win.LockAssert(1, true, true)
+			win.Put(1, 32, payload, int64(len(payload)))
+			win.Unlock(1)
+		} else {
+			win.WaitSignal(0, 1)
+			if got := string(win.Bytes()[32 : 32+len(payload)]); got != string(payload) {
+				t.Errorf("notify overtook data: %q", got)
+			}
+			if g := win.Stats().LockGrants; g != 0 {
+				t.Errorf("lock agent served %d grants on a lock-free epoch", g)
+			}
+		}
+		win.Quiesce()
+		r.Barrier()
+	})
+}
+
+// TestSignalLossyFabric runs pipelined signal-transport epochs plus user
+// signals over a dup/drop/corrupt-injecting fabric: the reliability
+// sublayer retransmits and the counter algebra absorbs anything that slips
+// through, so data and signal counts must come out exact.
+func TestSignalLossyFabric(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		fp := fabric.DefaultFaultProfile(seed)
+		fp.Drop = 0.08
+		fp.Dup = 0.08
+		fp.Corrupt = 0.04
+		fp.JitterMax = 20 * sim.Microsecond
+		w, rt := faultyWorld(t, 2, fp)
+		var retries int64
+		runJob(t, w, func(r *mpi.Rank) {
+			win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew, Transport: TransportSignal})
+			for i := 0; i < 6; i++ {
+				if r.ID == 0 {
+					win.Start([]int{1})
+					win.Put(1, int64(i), []byte{byte(0xa0 + i)}, 1)
+					win.Complete()
+					win.Signal(1)
+				} else {
+					win.Post([]int{0})
+					win.WaitEpoch()
+				}
+			}
+			if r.ID == 1 {
+				win.WaitSignal(0, 6)
+				for i := 0; i < 6; i++ {
+					if win.Bytes()[i] != byte(0xa0+i) {
+						t.Errorf("seed %d: byte %d = %x, want %x", seed, i, win.Bytes()[i], 0xa0+i)
+					}
+				}
+				retries = win.FaultStats().Retransmits
+			}
+			win.Quiesce()
+			r.Barrier()
+		})
+		if retries == 0 {
+			t.Errorf("seed %d: adversary never forced a retransmit; test proves nothing", seed)
+		}
+	}
+}
+
+// TestSignalDeadPeerMidSpin pins the failure-propagation rule: a WaitSignal
+// spin on a peer the fabric declares unreachable must unwind with
+// ErrRankUnreachable instead of spinning on a replica nobody can write.
+func TestSignalDeadPeerMidSpin(t *testing.T) {
+	fp := fabric.DefaultFaultProfile(1)
+	fp.DeadRank = 1
+	fp.DeadFrom = 200 * sim.Microsecond
+	fp.RTO = 10 * sim.Microsecond
+	fp.MaxRetries = 3
+	w, rt := faultyWorld(t, 2, fp)
+	err := w.Run(func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Mode: ModeNew, Transport: TransportSignal})
+		if r.ID != 0 {
+			return // rank 1 goes silent before ever signaling
+		}
+		// Send toward the peer after it went silent so the reliability
+		// sublayer exhausts its retries and declares it unreachable.
+		r.Compute(300 * sim.Microsecond)
+		win.Signal(1)
+		win.WaitSignal(1, 1)
+		t.Error("WaitSignal returned without the peer ever signaling")
+	})
+	var rma *RMAError
+	if !errors.As(err, &rma) {
+		t.Fatalf("error %v does not unwrap to *RMAError", err)
+	}
+	if rma.Class != ErrRankUnreachable || rma.Peer != 1 {
+		t.Fatalf("got class=%v peer=%d, want ERR_RANK_UNREACHABLE toward 1 (%v)", rma.Class, rma.Peer, err)
+	}
+}
+
+// TestSignalNCForms exercises the charge-mirrored no-charge surface the
+// task API uses: SignalNC plus a SignalCount poll must observe exactly what
+// the blocking pair does.
+func TestSignalNCForms(t *testing.T) {
+	w, rt := testWorld(t, 2)
+	runJob(t, w, func(r *mpi.Rank) {
+		win := rt.CreateWindow(r, 64, WinOptions{Transport: TransportSignal})
+		if r.ID == 0 {
+			win.SignalNC(1)
+			win.SignalNC(1)
+		} else {
+			r.WaitUntil("test-signal", func() bool { return win.SignalCount(0) >= 2 })
+			if got := win.SignalCount(0); got != 2 {
+				t.Errorf("SignalCount = %d, want 2", got)
+			}
+		}
+		win.Quiesce()
+		r.Barrier()
+	})
+}

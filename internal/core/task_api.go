@@ -33,6 +33,8 @@ import (
 //	UnlockAll()[flush mode] = C; st,req=UnlockAllBeginNC(); if st!=nil
 //	                          { C; req=UnlockAllFinishNC(st) }
 //	                          C; await req; check req.Err
+//	Signal(t)               = C; SignalNC(t)
+//	WaitSignal(s, c)        = C; await SignalCount(s) >= c
 //	Quiesce()               = await Quiesced (no charge)
 //
 // "await pred" is one mpi.Rank.TaskAwait per Step until it reports true.

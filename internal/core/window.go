@@ -22,6 +22,14 @@ type Window struct {
 	// 64k-rank world is not 64k² counter slots. Always via w.peer(i).
 	peers peerTable
 
+	// Counter-signal transport state (signal.go): the control-plane
+	// representation, the base value the raw counters start from, and the
+	// per-peer replica table — nil until the first signal touches it, so
+	// GATS-transport windows never allocate it.
+	transport Transport
+	sigBase   uint64
+	sig       *sigTable
+
 	// Epoch bookkeeping.
 	nextEpochSeq int64
 	epochs       []*Epoch // not-yet-completed epochs, program order
@@ -355,5 +363,12 @@ func (w *Window) Quiesced() bool {
 		return w.err != nil || (len(w.liveOps) == 0 && w.fm.idle())
 	}
 	w.pruneCompleted()
-	return len(w.epochs) == 0
+	if len(w.epochs) != 0 {
+		return false
+	}
+	// Local-completion gating lets signal-transport epochs complete with
+	// remote completions still in flight; freeing the window under them
+	// would strand their acks, so quiescence also drains the live-op set
+	// (emptied exactly at remote completion; an abort empties it too).
+	return w.transport != TransportSignal || len(w.liveOps) == 0
 }

@@ -10,6 +10,9 @@ type WindowStats struct {
 	OpsIssued       int64
 	BytesOut        int64 // payload bytes of outbound puts/accumulates
 	LockGrants      int64 // grants served by the local lock agent
+	SignalsSent     int64 // counter-replica writes sent (internode grants/dones + user signals)
+	SignalsRecv     int64 // replica writes merged (newer than the local replica)
+	SignalsStale    int64 // replica writes discarded as duplicates or reorders
 }
 
 // Stats returns a snapshot of the window's counters.

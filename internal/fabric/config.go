@@ -64,6 +64,17 @@ type Config struct {
 	// completion waits, nonblocking code pays it up front, overlapped.
 	CallOverhead sim.Time
 
+	// Channels is the number of data rails (independent injection
+	// pipelines, each with the full BytesPerUs bandwidth) per NIC — the
+	// multi-rail HCA model of RDMA-era MPI stacks. 1 is the classic
+	// single-pipeline NIC. Above 1 the NIC additionally dedicates a
+	// separate control rail to small protocol packets (signals, locks,
+	// dones, ACKs) so epoch-close latency is immune to data-plane
+	// queueing, and stripes large transfers across the data rails in
+	// deterministic chunks. Multi-rail NICs model parallel crossbar
+	// ports; they cannot be combined with a modeled topology.
+	Channels int
+
 	// Topo selects the interconnect topology and congestion model
 	// (internal/topo). The zero value is the ideal contention-free
 	// crossbar — today's fabric, bit for bit. Any other kind routes every
@@ -131,10 +142,30 @@ func (c Config) Validate(n int) error {
 	if c.CallOverhead < 0 {
 		return fmt.Errorf("negative CallOverhead %d ns", c.CallOverhead)
 	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("non-positive Channels %d (a NIC needs at least one rail; DefaultConfig uses 1)", c.Channels)
+	}
+	if rails := c.Rails(); n > MaxRanks/rails {
+		return fmt.Errorf("world size %d with %d NIC rails needs %d virtual ports, exceeding the %d-port limit (rank and rail ids share the %d-bit packet-key budget)",
+			n, rails, n*rails, MaxRanks, RankBits)
+	}
+	if c.Channels > 1 && c.Topo.Kind != topo.Crossbar {
+		return fmt.Errorf("Channels %d with a modeled topology (%v): multi-rail NICs model parallel crossbar ports and cannot ride the hop-by-hop link model", c.Channels, c.Topo.Kind)
+	}
 	if err := c.Topo.Validate(c.NodeOf(n-1) + 1); err != nil {
 		return err
 	}
 	return nil
+}
+
+// Rails returns the number of injection pipelines each NIC runs: the single
+// shared rail of the classic model, or — with Channels > 1 — the Channels
+// data rails plus the dedicated control rail (index 0).
+func (c Config) Rails() int {
+	if c.Channels <= 1 {
+		return 1
+	}
+	return c.Channels + 1
 }
 
 // DefaultConfig returns the calibration used throughout the benchmark
@@ -155,6 +186,7 @@ func DefaultConfig() Config {
 		RegCacheEntries: 64,
 		RegMissCost:     5 * sim.Microsecond,
 		CallOverhead:    400 * sim.Nanosecond,
+		Channels:        1,
 	}
 }
 

@@ -104,8 +104,16 @@ type RelStats struct {
 	AcksDropped  int64 // ACK packets lost by the injector
 }
 
-// linkKey identifies a directed internode link.
+// linkKey identifies a directed internode link (a physical src->dst path:
+// flaps, stalls and dead-rank windows apply to all of its rails at once).
 type linkKey struct{ src, dst int }
+
+// arqKey identifies one go-back-N stream: a directed link plus the NIC rail
+// carrying it. Single-rail networks only ever use rail 0.
+type arqKey struct {
+	src, dst int
+	rail     int
+}
 
 // faultState is the per-Network injector + reliability-sublayer state. Like
 // everything in the fabric it is owned by the simulation's single-threaded
@@ -115,7 +123,7 @@ type faultState struct {
 	fp  FaultProfile
 	rng *sim.RNG
 
-	links     map[linkKey]*relLink
+	links     map[arqKey]*relLink  // one ARQ stream per (directed link, rail)
 	downUntil map[linkKey]sim.Time // flap windows per directed link
 	flapped   map[linkKey]bool     // down window seen, recovery not yet counted
 	stats     []RelStats           // per rank
@@ -129,23 +137,35 @@ func newFaultState(nw *Network, fp FaultProfile) *faultState {
 		nw:        nw,
 		fp:        fp,
 		rng:       sim.NewRNG(fp.Seed),
-		links:     make(map[linkKey]*relLink),
+		links:     make(map[arqKey]*relLink),
 		downUntil: make(map[linkKey]sim.Time),
 		flapped:   make(map[linkKey]bool),
 		stats:     make([]RelStats, nw.N()),
 	}
 }
 
-// link returns (creating lazily) the directed-link ARQ state src->dst.
-func (fs *faultState) link(src, dst int) *relLink {
-	key := linkKey{src, dst}
+// link returns (creating lazily) the ARQ state of the src->dst stream on
+// the given rail.
+func (fs *faultState) link(src, dst, rail int) *relLink {
+	key := arqKey{src, dst, rail}
 	l, ok := fs.links[key]
 	if !ok {
-		l = &relLink{fs: fs, src: src, dst: dst}
+		l = &relLink{fs: fs, src: src, dst: dst, rail: rail}
 		l.timer = fs.nw.K.NewTimer(l.onTimer)
 		fs.links[key] = l
 	}
 	return l
+}
+
+// peerDead reports whether any rail's ARQ stream from local toward peer has
+// declared the peer unreachable.
+func (fs *faultState) peerDead(local, peer int) bool {
+	for rail := 0; rail < fs.nw.Cfg.Rails(); rail++ {
+		if l, ok := fs.links[arqKey{local, peer, rail}]; ok && l.dead {
+			return true
+		}
+	}
+	return false
 }
 
 // rankDown reports whether rank r is inside a stall window or permanently
@@ -262,7 +282,7 @@ func (nw *Network) FaultDiag(r int) string {
 		return ""
 	}
 	now := nw.K.Now()
-	keys := make([]linkKey, 0, len(fs.links))
+	keys := make([]arqKey, 0, len(fs.links))
 	for key := range fs.links {
 		if key.src == r || key.dst == r {
 			keys = append(keys, key)
@@ -272,24 +292,32 @@ func (nw *Network) FaultDiag(r int) string {
 		if keys[i].src != keys[j].src {
 			return keys[i].src < keys[j].src
 		}
-		return keys[i].dst < keys[j].dst
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].rail < keys[j].rail
 	})
 	var b strings.Builder
 	for _, key := range keys {
 		l := fs.links[key]
+		phys := linkKey{key.src, key.dst}
 		state := "up"
 		switch {
 		case l.dead:
 			state = "DEAD (peer declared unreachable)"
-		case fs.linkDown(key, now):
-			if until, ok := fs.downUntil[key]; ok && now < until {
+		case fs.linkDown(phys, now):
+			if until, ok := fs.downUntil[phys]; ok && now < until {
 				state = fmt.Sprintf("down (flap, up at t=%d)", until)
 			} else {
 				state = "down (rank stalled or dead)"
 			}
 		}
-		fmt.Fprintf(&b, "link %d->%d: %s nextSeq=%d expect=%d unacked=%d retries=%d",
-			key.src, key.dst, state, l.nextSeq, l.expect, len(l.unacked), l.retries)
+		fmt.Fprintf(&b, "link %d->%d", key.src, key.dst)
+		if nw.Cfg.Rails() > 1 {
+			fmt.Fprintf(&b, " rail %d", key.rail)
+		}
+		fmt.Fprintf(&b, ": %s nextSeq=%d expect=%d unacked=%d retries=%d",
+			state, l.nextSeq, l.expect, len(l.unacked), l.retries)
 		if l.timer.Armed() {
 			fmt.Fprintf(&b, " rto@t=%d", l.timer.Deadline())
 		}

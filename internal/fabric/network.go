@@ -250,8 +250,7 @@ func (nw *Network) PeerUnreachable(local, peer int) bool {
 	if nw.faults == nil {
 		return false
 	}
-	l, ok := nw.faults.links[linkKey{local, peer}]
-	return ok && l.dead
+	return nw.faults.peerDead(local, peer)
 }
 
 // Send injects packet p at its source NIC. Internode packets traverse the

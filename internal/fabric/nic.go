@@ -10,15 +10,36 @@ type desc struct {
 	n       *NIC
 	pkt     *Packet
 	dst     int      // cached: pkt may be recycled before the credit returns
+	rail    int      // which injection rail carries this descriptor
+	wire    int64    // bytes charged to this rail (== pkt.Size unless striped)
+	stripe  *stripeGroup
 	regCost sim.Time // registration-cache miss penalty, charged as DMA setup
 }
 
-// NIC models one host channel adapter. It has a single serial injection
-// pipeline: descriptors from all peers share the outgoing wire, each
-// occupying it for WireTime(size). Delivery order is FIFO per peer (the
-// property the RMA protocol relies on for done-after-data ordering), and a
-// peer whose flow-control credits are exhausted is skipped without blocking
-// traffic to other peers (per-QP flow control).
+// stripeGroup tracks one large transfer striped across the data rails: the
+// packet is delivered (and its OnTxDone fired) when the last chunk's wire
+// occupancy ends. Groups are recycled through a per-NIC free-list.
+type stripeGroup struct {
+	remaining int
+}
+
+// NIC models one host channel adapter with Config.Rails() injection rails.
+// The classic configuration (Channels == 1) is a single serial pipeline:
+// descriptors from all peers share the outgoing wire, each occupying it for
+// WireTime(size). With Channels > 1 the NIC mirrors a multi-rail HCA: rail 0
+// is a dedicated control rail for small protocol packets (signals, locks,
+// dones) so epoch-close latency is immune to data-plane queueing, and rails
+// 1..Channels each carry data at full bandwidth, with large puts striped
+// across all of them in deterministic chunks.
+//
+// Delivery order is FIFO per (peer, rail) — the single-rail case is exactly
+// the per-peer FIFO the RMA protocol relies on for done-after-data ordering;
+// the multi-rail ordering contract is documented in DESIGN §13. Two-sided
+// and accumulate traffic keeps a fixed per-peer rail affinity so MPI's
+// non-overtaking and accumulate-ordering rules survive striping. A peer
+// whose flow-control credits are exhausted is skipped without blocking
+// traffic to other peers (per-QP flow control); credits are charged per
+// rail, like real per-QP windows.
 //
 // The NIC is autonomous: once a descriptor is posted, transmission, delivery
 // and credit recovery all proceed in kernel-event context with no further
@@ -34,35 +55,47 @@ type NIC struct {
 	// topology ingress cross shards.
 	k *sim.Kernel
 
-	queue []*desc
-	busy  bool
+	// rails holds the per-rail pipeline state. Single-element on the
+	// classic NIC; control rail at index 0 plus Channels data rails above.
+	rails []nicRail
 
-	// peers holds per-destination flow-control state: credits counts
-	// outstanding unacknowledged packets toward the peer, and skip ==
-	// skipGen marks it credit-stalled within the current tryStart scan (a
-	// generation stamp avoids clearing — and avoids the per-scan map the
-	// old implementation allocated). Dense below nicPeerDenseMax ranks;
-	// lazily materialized above it, because per-NIC O(n) slices are O(n²)
-	// across the world and a rank at scale only ever sends to its O(log n)
-	// partners.
-	peers    nicPeerTable
-	skipGen  uint64
-	descFree []*desc
+	descFree   []*desc
+	stripeFree []*stripeGroup
 
-	// Stats.
+	// Aggregate stats across rails (per-rail breakdowns via RailStats).
 	Sent       int64
 	BytesSent  int64
-	Stalls     int64 // times the pipeline found only credit-stalled peers
+	Stalls     int64 // times a pipeline found only credit-stalled peers
 	MaxQueue   int
 	creditInit int
 }
 
+// nicRail is one injection pipeline: its own queue, wire occupancy state and
+// per-peer flow-control window (per-QP credits are per rail, so a stalled
+// data rail never withholds the control rail's credits).
+type nicRail struct {
+	queue   []*desc
+	busy    bool
+	peers   nicPeerTable
+	skipGen uint64
+
+	// Per-rail stats, surfaced through NIC.RailStats.
+	sent     int64
+	bytes    int64
+	stalls   int64
+	maxQueue int
+}
+
 func newNIC(nw *Network, rank, n int, k *sim.Kernel) *NIC {
+	rails := make([]nicRail, nw.Cfg.Rails())
+	for i := range rails {
+		rails[i].peers = newNicPeerTable(n)
+	}
 	return &NIC{
 		nw:         nw,
 		rank:       rank,
 		k:          k,
-		peers:      newNicPeerTable(n),
+		rails:      rails,
 		creditInit: nw.Cfg.CreditsPerPeer,
 	}
 }
@@ -117,8 +150,33 @@ func (t *nicPeerTable) get(i int) *nicPeer {
 	return c
 }
 
-// QueueLen returns the number of descriptors waiting for the wire.
-func (n *NIC) QueueLen() int { return len(n.queue) }
+// QueueLen returns the number of descriptors waiting for a wire, across all
+// rails.
+func (n *NIC) QueueLen() int {
+	total := 0
+	for i := range n.rails {
+		total += len(n.rails[i].queue)
+	}
+	return total
+}
+
+// RailStats is one rail's congestion/throughput snapshot.
+type RailStats struct {
+	Sent      int64
+	BytesSent int64
+	Stalls    int64
+	MaxQueue  int
+}
+
+// Rails returns the number of injection rails this NIC runs.
+func (n *NIC) Rails() int { return len(n.rails) }
+
+// RailStats returns rail r's counters — the rail-aware view of the NIC
+// aggregates (Sent, BytesSent, Stalls, MaxQueue).
+func (n *NIC) RailStats(r int) RailStats {
+	rl := &n.rails[r]
+	return RailStats{Sent: rl.sent, BytesSent: rl.bytes, Stalls: rl.stalls, MaxQueue: rl.maxQueue}
+}
 
 // allocDesc takes a descriptor from the free-list (or allocates one).
 func (n *NIC) allocDesc() *desc {
@@ -134,25 +192,133 @@ func (n *NIC) allocDesc() *desc {
 // freeDesc returns a spent descriptor to the free-list.
 func (n *NIC) freeDesc(d *desc) {
 	d.pkt = nil
+	d.stripe = nil
+	d.rail = 0
+	d.wire = 0
 	d.regCost = 0
 	n.descFree = append(n.descFree, d)
 }
 
-// enqueue posts a packet to the injection queue and kicks the pipeline.
+func (n *NIC) allocStripe() *stripeGroup {
+	if l := len(n.stripeFree); l > 0 {
+		g := n.stripeFree[l-1]
+		n.stripeFree[l-1] = nil
+		n.stripeFree = n.stripeFree[:l-1]
+		return g
+	}
+	return &stripeGroup{}
+}
+
+func (n *NIC) freeStripe(g *stripeGroup) {
+	g.remaining = 0
+	n.stripeFree = append(n.stripeFree, g)
+}
+
+// dataRail reports whether a packet kind belongs to the data plane. Data
+// kinds toward one peer share a fixed affinity rail: eager/rendezvous
+// two-sided traffic must not overtake itself (MPI non-overtaking) and
+// accumulate payloads must stay ordered (MPI accumulate ordering), so none
+// of them may hop rails packet by packet.
+func dataRail(k Kind) bool {
+	switch k {
+	case KindEager, KindRTS, KindRData, KindPutData, KindAccData, KindGetResp, KindGetAccResp:
+		return true
+	}
+	return false
+}
+
+// stripeable reports whether a packet kind may be chunk-striped across the
+// data rails: only bulk one-sided payloads with no inter-packet ordering
+// contract of their own.
+func stripeable(k Kind) bool { return k == KindPutData || k == KindGetResp }
+
+// stripeMin is the size threshold below which striping is not worth the
+// per-rail alpha; small transfers ride their affinity rail whole.
+const stripeMin int64 = 64 << 10
+
+// railFor classifies a packet onto an injection rail. Single-rail NICs use
+// rail 0 for everything; multi-rail NICs put data-plane kinds on a per-peer
+// affinity data rail and everything else (signals, grants, dones, locks,
+// requests, barriers) on the dedicated control rail 0.
+func (n *NIC) railFor(p *Packet) int {
+	if len(n.rails) == 1 || !dataRail(p.Kind) {
+		return 0
+	}
+	return 1 + p.Dst%(len(n.rails)-1)
+}
+
+// enqueue posts a packet to its rail's injection queue and kicks that
+// pipeline. Large stripeable transfers on a pristine multi-rail crossbar
+// split into per-rail chunks instead (the injectors and the topology model
+// own delivery on their paths and know nothing of chunk reassembly, so
+// striping stays a lossless-crossbar feature).
 func (n *NIC) enqueue(p *Packet) {
+	if len(n.rails) > 1 && p.Size >= stripeMin && stripeable(p.Kind) &&
+		n.nw.faults == nil && n.nw.sched == nil && n.nw.topo == nil {
+		n.enqueueStriped(p)
+		return
+	}
+	rail := n.railFor(p)
+	p.Rail = uint8(rail)
 	d := n.allocDesc()
 	d.pkt = p
 	d.dst = p.Dst
+	d.rail = rail
+	d.wire = p.Size
 	if rc := n.nw.regs[n.rank]; rc != nil && p.Size > 0 {
 		if !rc.Touch(regionKeyFor(p)) {
 			d.regCost = n.nw.Cfg.RegMissCost
 		}
 	}
-	n.queue = append(n.queue, d)
-	if len(n.queue) > n.MaxQueue {
-		n.MaxQueue = len(n.queue)
+	n.push(d)
+	n.tryStart(rail)
+}
+
+// enqueueStriped splits one bulk transfer into Channels chunks, one per data
+// rail, in deterministic rail order. The chunks share the packet; the last
+// chunk to leave its wire fires local completion and schedules the single
+// delivery (the receive side never sees partial chunks — reassembly is the
+// receiving HCA's job and costs nothing extra in this model).
+func (n *NIC) enqueueStriped(p *Packet) {
+	dataRails := len(n.rails) - 1
+	g := n.allocStripe()
+	g.remaining = dataRails
+	base := p.Size / int64(dataRails)
+	rem := p.Size % int64(dataRails)
+	regMiss := false
+	if rc := n.nw.regs[n.rank]; rc != nil {
+		regMiss = !rc.Touch(regionKeyFor(p))
 	}
-	n.tryStart()
+	for i := 0; i < dataRails; i++ {
+		d := n.allocDesc()
+		d.pkt = p
+		d.dst = p.Dst
+		d.rail = 1 + i
+		d.wire = base
+		if int64(i) < rem {
+			d.wire++
+		}
+		if i == 0 && regMiss {
+			d.regCost = n.nw.Cfg.RegMissCost
+		}
+		d.stripe = g
+		n.push(d)
+	}
+	for i := 0; i < dataRails; i++ {
+		n.tryStart(1 + i)
+	}
+}
+
+// push appends a descriptor to its rail's queue and updates depth stats.
+func (n *NIC) push(d *desc) {
+	r := &n.rails[d.rail]
+	r.queue = append(r.queue, d)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	if len(r.queue) > n.MaxQueue {
+		n.MaxQueue = len(r.queue)
+	}
 }
 
 // regionKeyFor derives a registration-cache key from a packet. Payload
@@ -163,33 +329,34 @@ func regionKeyFor(p *Packet) uint64 {
 }
 
 // CreditsToward reports the outstanding unacknowledged packets toward dst
-// without materializing sparse state — diagnostics and tests only.
+// across all rails without materializing sparse state — diagnostics and
+// tests only.
 func (n *NIC) CreditsToward(dst int) int {
-	if n.peers.dense != nil {
-		return n.peers.dense[dst].credits
+	total := 0
+	for i := range n.rails {
+		t := &n.rails[i].peers
+		if t.dense != nil {
+			total += t.dense[dst].credits
+		} else if c := t.sparse[int32(dst)]; c != nil {
+			total += c.credits
+		}
 	}
-	if c := n.peers.sparse[int32(dst)]; c != nil {
-		return c.credits
-	}
-	return 0
+	return total
 }
 
-// hasCredit reports whether a packet toward dst may start transmission.
-func (n *NIC) hasCredit(dst int) bool {
-	return n.creditInit <= 0 || n.peers.get(dst).credits < n.creditInit
-}
-
-// tryStart starts transmitting the oldest descriptor whose peer has
-// credits. It preserves per-peer FIFO order: once a descriptor for peer P is
-// skipped for lack of credit, every later descriptor for P is skipped too.
-func (n *NIC) tryStart() {
-	if n.busy || len(n.queue) == 0 {
+// tryStart starts transmitting the oldest descriptor on the rail whose peer
+// has credits. It preserves per-(peer, rail) FIFO order: once a descriptor
+// for peer P is skipped for lack of credit, every later descriptor for P on
+// the same rail is skipped too.
+func (n *NIC) tryStart(rail int) {
+	r := &n.rails[rail]
+	if r.busy || len(r.queue) == 0 {
 		return
 	}
-	n.skipGen++
-	gen := n.skipGen
-	for i, d := range n.queue {
-		pc := n.peers.get(d.dst)
+	r.skipGen++
+	gen := r.skipGen
+	for i, d := range r.queue {
+		pc := r.peers.get(d.dst)
 		if pc.skip == gen {
 			continue
 		}
@@ -197,30 +364,34 @@ func (n *NIC) tryStart() {
 			pc.skip = gen
 			continue
 		}
-		copy(n.queue[i:], n.queue[i+1:])
-		n.queue[len(n.queue)-1] = nil
-		n.queue = n.queue[:len(n.queue)-1]
+		copy(r.queue[i:], r.queue[i+1:])
+		r.queue[len(r.queue)-1] = nil
+		r.queue = r.queue[:len(r.queue)-1]
 		n.transmit(d)
 		return
 	}
+	r.stalls++
 	n.Stalls++
 }
 
-// transmit occupies the wire for the descriptor's duration, then schedules
-// delivery and credit recovery (descTxDone).
+// transmit occupies the rail's wire for the descriptor's duration, then
+// schedules delivery and credit recovery (descTxDone).
 func (n *NIC) transmit(d *desc) {
-	n.busy = true
+	r := &n.rails[d.rail]
+	r.busy = true
 	if n.creditInit > 0 {
-		n.peers.get(d.dst).credits++
+		r.peers.get(d.dst).credits++
 	}
 	n.Sent++
-	n.BytesSent += d.pkt.Size
-	wire := n.nw.Cfg.WireTime(d.pkt.Size) + d.regCost
+	n.BytesSent += d.wire
+	r.sent++
+	r.bytes += d.wire
+	wire := n.nw.Cfg.WireTime(d.wire) + d.regCost
 	n.k.AfterCall(wire, descTxDone, d)
 }
 
-// descTxDone runs when the descriptor's last byte leaves the injection
-// pipeline: it frees the wire, signals local completion, and schedules
+// descTxDone runs when the descriptor's last byte leaves its injection
+// rail: it frees the wire, signals local completion, and schedules
 // propagation plus (with flow control on) the hardware ACK that returns the
 // credit. All continuations are shared functions taking the descriptor or
 // packet, so the whole per-packet pipeline costs zero allocations.
@@ -236,7 +407,30 @@ func descTxDone(x any) {
 	d := x.(*desc)
 	n := d.n
 	cfg := n.nw.Cfg
-	n.busy = false
+	n.rails[d.rail].busy = false
+	if g := d.stripe; g != nil {
+		// Striped chunk (pristine multi-rail crossbar only): the packet
+		// completes and propagates when its last chunk leaves a wire.
+		g.remaining--
+		pkt := d.pkt
+		rail := d.rail
+		if g.remaining == 0 {
+			n.freeStripe(g)
+			if pkt.OnTxDone != nil {
+				pkt.OnTxDone()
+			}
+			n.k.AtCross(n.k.Now()+cfg.Alpha, pktDeliver, pkt, n.rank, pkt.Dst)
+		}
+		d.pkt = nil
+		d.stripe = nil
+		if n.creditInit > 0 {
+			n.k.AfterCall(cfg.Alpha+cfg.AckLatency, descCreditReturn, d)
+		} else {
+			n.freeDesc(d)
+		}
+		n.tryStart(rail)
+		return
+	}
 	if d.pkt.OnTxDone != nil {
 		d.pkt.OnTxDone()
 	}
@@ -263,18 +457,19 @@ func descTxDone(x any) {
 		// the very round that produced it; delivery, credit return and the
 		// descriptor come back from egress (topoState.egress).
 		k.AtCross(k.Now(), topoIngress, d, n.rank, -1)
-		n.tryStart()
+		n.tryStart(d.rail)
 		return
 	}
 	pkt := d.pkt
 	d.pkt = nil
+	rail := d.rail
 	if n.creditInit > 0 {
 		k.AfterCall(cfg.Alpha+cfg.AckLatency, descCreditReturn, d)
 	} else {
 		n.freeDesc(d)
 	}
 	k.AtCross(k.Now()+cfg.Alpha, pktDeliver, pkt, n.rank, pkt.Dst)
-	n.tryStart()
+	n.tryStart(rail)
 }
 
 // pktDeliver propagates a detached packet to its destination; on a sharded
@@ -284,12 +479,14 @@ func pktDeliver(x any) {
 	p.nw.deliver(p)
 }
 
-// descCreditReturn models the hardware ACK: the peer's credit comes back,
-// possibly unblocking a stalled descriptor, and the descriptor is retired.
+// descCreditReturn models the hardware ACK: the peer's credit on the
+// descriptor's rail comes back, possibly unblocking a stalled descriptor,
+// and the descriptor is retired.
 func descCreditReturn(x any) {
 	d := x.(*desc)
 	n := d.n
-	n.peers.get(d.dst).credits--
+	rail := d.rail
+	n.rails[rail].peers.get(d.dst).credits--
 	n.freeDesc(d)
-	n.tryStart()
+	n.tryStart(rail)
 }

@@ -19,6 +19,7 @@ func testNet(n int, credits int) (*sim.Kernel, *Network) {
 		CreditsPerPeer:  credits,
 		AckLatency:      5 * sim.Microsecond,
 		FifoCapacity:    8,
+		Channels:        1,
 	}
 	return k, NewNetwork(k, n, cfg)
 }

@@ -37,6 +37,10 @@ const (
 	// atomic on a remote lock counter, executed in the target's NIC context.
 	KindLockAtomic     // conditional fetch-and-op request on a lock counter
 	KindLockAtomicResp // success/failure response
+	// mscclpp-style counter-signal transport (core.TransportSignal): a
+	// 16-byte one-sided write of a monotonic outbound counter into the
+	// peer's inbound replica, executed in the target's NIC context.
+	KindSignal
 	// Reliability sublayer (internal to the fabric; never reaches handlers).
 	KindAck // go-back-N cumulative acknowledgement
 
@@ -68,6 +72,12 @@ type Packet struct {
 	// receive state for the reverse direction.
 	Seq uint64
 	Ack uint64
+
+	// Rail records which of the source NIC's injection rails carried the
+	// packet (always 0 on a single-rail NIC). The reliability sublayer keys
+	// its per-link sequence spaces by rail — each (link, rail) pair is an
+	// independent go-back-N stream, mirroring real multi-rail QPs.
+	Rail uint8
 
 	// rel marks a packet owned by the reliability sublayer (a stable,
 	// non-pooled retransmission copy); corrupt models a payload whose

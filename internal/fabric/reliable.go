@@ -6,25 +6,29 @@ import "repro/internal/sim"
 // enabled (Network.EnableFaults): the zero-fault fast path pays one nil
 // check in descTxDone and nothing else.
 //
-// Each directed internode link carries an independent sequence space. The
-// sender keeps every unacknowledged packet in a stable (non-pooled) copy
-// and arms a per-link retransmission timer with exponential backoff on the
-// virtual clock; the receiver delivers exactly the expected sequence number
-// (duplicates and gaps are dropped — go-back-N keeps no reorder buffer,
-// preserving the per-link FIFO order the RMA protocol's done-after-data
-// guarantee relies on) and acknowledges cumulatively, both piggybacked on
-// reverse traffic and via dedicated KindAck packets. Flow-control credits
-// charged at first transmission are returned by the cumulative ACK — or
-// reconciled in bulk when a flapped peer is declared unreachable — so a
-// lossy link can never leak the sender's credit pool.
+// Each (directed internode link, rail) pair carries an independent sequence
+// space — multi-rail NICs run one go-back-N stream per rail, mirroring real
+// per-QP reliability. The sender keeps every unacknowledged packet in a
+// stable (non-pooled) copy and arms a per-link retransmission timer with
+// exponential backoff on the virtual clock; the receiver delivers exactly
+// the expected sequence number (duplicates and gaps are dropped — go-back-N
+// keeps no reorder buffer, preserving the per-(link, rail) FIFO order; on a
+// single rail that is exactly the per-link FIFO the RMA protocol's
+// done-after-data guarantee relies on) and acknowledges cumulatively, both
+// piggybacked on reverse same-rail traffic and via dedicated KindAck
+// packets. Flow-control credits charged at first transmission are returned
+// by the cumulative ACK — or reconciled in bulk when a flapped peer is
+// declared unreachable — so a lossy link can never leak the sender's credit
+// pool.
 
-// relLink is the ARQ state of one directed link. Transmit-side fields are
-// mutated by events at the source rank, receive-side fields (expect) by
-// events at the destination; the kernel is single-threaded, so one struct
-// safely holds both ends.
+// relLink is the ARQ state of one (directed link, rail) stream. Transmit-
+// side fields are mutated by events at the source rank, receive-side fields
+// (expect) by events at the destination; the kernel is single-threaded, so
+// one struct safely holds both ends.
 type relLink struct {
 	fs       *faultState
 	src, dst int
+	rail     int
 
 	// Transmit side.
 	nextSeq uint64
@@ -54,20 +58,21 @@ func (l *relLink) rto() sim.Time {
 func (fs *faultState) sendReliable(d *desc) {
 	n := d.n
 	orig := d.pkt
+	rail := d.rail
 	src, dst := orig.Src, orig.Dst
-	l := fs.link(src, dst)
+	l := fs.link(src, dst, rail)
 	if l.dead {
 		// Peer already declared unreachable: reconcile the credit charged at
 		// transmit and drop the packet on the floor.
 		if n.creditInit > 0 {
-			n.peers.get(d.dst).credits--
+			n.rails[rail].peers.get(d.dst).credits--
 		}
 		fs.stats[src].Drops++
 		if orig.pooled {
 			fs.nw.release(orig)
 		}
 		n.freeDesc(d)
-		n.tryStart()
+		n.tryStart(rail)
 		return
 	}
 	// Stable copy: the original may be pooled and must not be retained, and
@@ -80,7 +85,7 @@ func (fs *faultState) sendReliable(d *desc) {
 	sp.nw = fs.nw // literal packets may carry no back-pointer; relDeliver needs one
 	sp.Seq = l.nextSeq
 	l.nextSeq++
-	sp.Ack = fs.link(dst, src).expect // piggybacked cumulative ACK
+	sp.Ack = fs.link(dst, src, rail).expect // piggybacked cumulative ACK (same rail)
 	if orig.pooled {
 		fs.nw.release(orig)
 	}
@@ -91,7 +96,7 @@ func (fs *faultState) sendReliable(d *desc) {
 		l.timer.Reset(l.rto())
 	}
 	fs.inject(sp)
-	n.tryStart()
+	n.tryStart(rail)
 }
 
 // recvReliable runs at the destination when an injected copy arrives. It
@@ -108,12 +113,13 @@ func (fs *faultState) recvReliable(p *Packet) {
 		st.CorruptDrops++
 		return
 	}
-	// The cumulative ACK field covers the reverse data direction.
-	fs.link(p.Dst, p.Src).ackTo(p.Ack)
+	// The cumulative ACK field covers the reverse data direction of the
+	// same rail.
+	fs.link(p.Dst, p.Src, int(p.Rail)).ackTo(p.Ack)
 	if p.Kind == KindAck {
 		return
 	}
-	l := fs.link(p.Src, p.Dst)
+	l := fs.link(p.Src, p.Dst, int(p.Rail))
 	switch {
 	case p.Seq == l.expect:
 		l.expect++
@@ -125,7 +131,7 @@ func (fs *faultState) recvReliable(p *Packet) {
 	}
 	// Always acknowledge — re-ACKs after dup/gap drops are what resync a
 	// sender whose ACKs were lost.
-	fs.sendAck(p.Dst, p.Src)
+	fs.sendAck(p.Dst, p.Src, int(p.Rail))
 }
 
 // ackTo applies a cumulative acknowledgement: every unacked packet with
@@ -147,7 +153,7 @@ func (l *relLink) ackTo(upTo uint64) {
 	for i := 0; i < n; i++ {
 		l.unacked[i] = nil
 		if nic.creditInit > 0 {
-			nic.peers.get(l.dst).credits--
+			nic.rails[l.rail].peers.get(l.dst).credits--
 		}
 	}
 	l.unacked = append(l.unacked[:0], l.unacked[n:]...)
@@ -159,14 +165,14 @@ func (l *relLink) ackTo(upTo uint64) {
 	} else {
 		l.timer.Reset(l.rto())
 	}
-	nic.tryStart() // returned credits may unblock queued descriptors
+	nic.tryStart(l.rail) // returned credits may unblock queued descriptors
 }
 
 // sendAck emits a dedicated cumulative ACK from -> to. ACKs are hardware-
 // level (they bypass the injection pipeline and flow control, like the
 // credit-return ACKs of the lossless model) but still cross the faulty
 // wire: they can be dropped or delayed, which the sender's timer absorbs.
-func (fs *faultState) sendAck(from, to int) {
+func (fs *faultState) sendAck(from, to, rail int) {
 	now := fs.nw.K.Now()
 	key := linkKey{from, to}
 	st := &fs.stats[from]
@@ -182,7 +188,8 @@ func (fs *faultState) sendAck(from, to int) {
 		Src:  from,
 		Dst:  to,
 		Kind: KindAck,
-		Ack:  fs.link(to, from).expect,
+		Ack:  fs.link(to, from, rail).expect,
+		Rail: uint8(rail),
 		rel:  true,
 		nw:   fs.nw,
 	}
@@ -206,7 +213,7 @@ func (l *relLink) onTimer() {
 	}
 	fs.stats[l.src].Retransmits += int64(len(l.unacked))
 	for _, sp := range l.unacked {
-		sp.Ack = fs.link(l.dst, l.src).expect // refresh the piggyback
+		sp.Ack = fs.link(l.dst, l.src, l.rail).expect // refresh the piggyback
 		fs.inject(sp)
 	}
 	if l.backoff < maxBackoffShift {
@@ -225,14 +232,14 @@ func (l *relLink) declareUnreachable() {
 	l.timer.Stop()
 	nic := fs.nw.nics[l.src]
 	if nic.creditInit > 0 {
-		nic.peers.get(l.dst).credits -= len(l.unacked)
+		nic.rails[l.rail].peers.get(l.dst).credits -= len(l.unacked)
 	}
 	for i := range l.unacked {
 		l.unacked[i] = nil
 	}
 	l.unacked = l.unacked[:0]
 	fs.stats[l.src].Unreachable++
-	nic.tryStart()
+	nic.tryStart(l.rail)
 	if h := fs.nw.onUnreachable; h != nil {
 		h(l.src, l.dst)
 	}

@@ -252,6 +252,7 @@ func schedHash(seed uint64, src, dst int, seq uint64) uint64 {
 func (ss *schedState) send(d *desc) {
 	n := d.n
 	p := d.pkt
+	rail := d.rail
 	d.pkt = nil
 	k := n.k
 	cfg := &n.nw.Cfg
@@ -267,7 +268,7 @@ func (ss *schedState) send(d *desc) {
 		// The source NIC is dead: the packet never leaves the host.
 		st.stats.TxDrops++
 		ss.dropTx(p)
-		n.tryStart()
+		n.tryStart(rail)
 		return
 	}
 	depart := now
@@ -295,7 +296,7 @@ func (ss *schedState) send(d *desc) {
 	}
 	st.floor[dst] = arrive
 	k.AtCross(arrive, schedDeliver, p, src, dst)
-	n.tryStart()
+	n.tryStart(rail)
 }
 
 // schedDeliver arrives at the destination rank's kernel: a packet reaching

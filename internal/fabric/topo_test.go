@@ -21,6 +21,7 @@ func topoNet(n int, spec topo.Spec) (*sim.Kernel, *Network) {
 		CreditsPerPeer:  0,
 		AckLatency:      5 * sim.Microsecond,
 		FifoCapacity:    8,
+		Channels:        1,
 		Topo:            spec,
 	}
 	return k, NewNetwork(k, n, cfg)
@@ -76,7 +77,7 @@ func TestTopoCreditReturn(t *testing.T) {
 		ProcsPerNode: 1, Alpha: 10 * sim.Microsecond, BytesPerUs: 1000,
 		AlphaIntra: sim.Microsecond, BytesPerUsIntra: 10000,
 		CreditsPerPeer: 1, AckLatency: 5 * sim.Microsecond, FifoCapacity: 8,
-		Topo: spec,
+		Channels: 1, Topo: spec,
 	}
 	nw := NewNetwork(k, 4, cfg)
 	var arrivals []sim.Time

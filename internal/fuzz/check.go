@@ -65,6 +65,29 @@ func Verify(p *Program, mode core.Mode, res *RunResult) []string {
 			}
 		}
 	}
+	// Signal conservation (counter-signal transport): every replica write
+	// sent is eventually merged or discarded as stale — nothing vanishes,
+	// nothing is double-counted. A quiesced GATS-transport window must have
+	// recorded no signal traffic at all.
+	for wi := range p.Windows {
+		var sent, recv, stale int64
+		for r := 0; r < p.NRanks; r++ {
+			s := res.Stats[r][wi]
+			sent += s.SignalsSent
+			recv += s.SignalsRecv
+			stale += s.SignalsStale
+			if res.Wins[r][wi].Transport() == core.TransportGATS &&
+				s.SignalsSent|s.SignalsRecv|s.SignalsStale != 0 {
+				bad("rank %d win %d: GATS transport recorded signal traffic (sent=%d recv=%d stale=%d)",
+					r, wi, s.SignalsSent, s.SignalsRecv, s.SignalsStale)
+			}
+		}
+		if sent != recv+stale {
+			bad("win %d: signal conservation violated: %d replica writes sent, %d merged + %d stale",
+				wi, sent, recv, stale)
+		}
+	}
+
 	for wi := range p.Windows {
 		for l := 0; l < p.NRanks; l++ {
 			for r := 0; r < p.NRanks; r++ {

@@ -19,6 +19,7 @@ type Failure struct {
 	Lossy    bool      // failed over the fault-injecting fabric
 	Topo     topo.Kind // interconnect the run was routed over (Crossbar: default)
 	KV       bool      // failed in the chaos KV-store arm (see kv.go)
+	Signal   bool      // failed on the counter-signal epoch transport
 	Problems []string
 }
 
@@ -27,6 +28,9 @@ func (f Failure) String() string {
 	extra := ""
 	if f.KV {
 		extra = " -mode kv"
+	}
+	if f.Signal {
+		extra = " -mode signal"
 	}
 	if f.Lossy {
 		extra += " -lossy"
@@ -70,6 +74,14 @@ type Options struct {
 	// is bit-identical to serial — sharding changes only wall-clock.
 	// Lossy/topology runs fall back to serial (see ExecuteShards).
 	Shards int
+	// Signal creates every window on the counter-signal epoch transport
+	// (core.TransportSignal) with the seed-derived replica base SignalBase
+	// returns — most seeds start the counters a few steps below the uint64
+	// wrap, so grant/done streams cross the boundary mid-program and the
+	// serial-number arithmetic is exercised for real. Composes with Lossy,
+	// Topo and Shards; the invariant battery is unchanged plus the signal
+	// conservation check (see Verify).
+	Signal bool
 }
 
 // BothModes is the default mode set.
@@ -97,6 +109,18 @@ func CheckSeedTopo(seed uint64, mode core.Mode, lossy bool, kind topo.Kind) *Fai
 
 // CheckSeedShards is CheckSeedTopo on a sharded kernel (see Options.Shards).
 func CheckSeedShards(seed uint64, mode core.Mode, lossy bool, kind topo.Kind, shards int) *Failure {
+	return checkSeed(seed, mode, lossy, kind, shards, false)
+}
+
+// CheckSeedSignal is the full checker on the counter-signal epoch transport
+// (see Options.Signal): the same program, invariants and fabric options, with
+// every window created as core.TransportSignal at the seed-derived replica
+// base.
+func CheckSeedSignal(seed uint64, mode core.Mode, lossy bool, kind topo.Kind, shards int) *Failure {
+	return checkSeed(seed, mode, lossy, kind, shards, true)
+}
+
+func checkSeed(seed uint64, mode core.Mode, lossy bool, kind topo.Kind, shards int, signal bool) *Failure {
 	p := Generate(seed)
 	if mode == core.ModeFlush {
 		p = GenerateFlush(seed) // epochless programs: lock/lock_all/flush only
@@ -106,9 +130,9 @@ func CheckSeedShards(seed uint64, mode core.Mode, lossy bool, kind topo.Kind, sh
 		prof := LossyProfile(seed)
 		fp = &prof
 	}
-	res := ExecuteShards(p, mode, fp, kind, shards)
+	res := executeOpts(p, mode, kind, shards, fp, nil, signal)
 	if problems := Verify(p, mode, res); len(problems) > 0 {
-		return &Failure{Seed: seed, Mode: mode, Lossy: lossy, Topo: kind, Problems: problems}
+		return &Failure{Seed: seed, Mode: mode, Lossy: lossy, Topo: kind, Signal: signal, Problems: problems}
 	}
 	return nil
 }
@@ -126,7 +150,7 @@ func Campaign(o Options) []Failure {
 		seed := o.Seed + uint64(i)
 		var fs []Failure
 		for _, mode := range modes {
-			if f := CheckSeedShards(seed, mode, o.Lossy, o.Topo, o.Shards); f != nil {
+			if f := checkSeed(seed, mode, o.Lossy, o.Topo, o.Shards, o.Signal); f != nil {
 				fs = append(fs, *f)
 			}
 		}

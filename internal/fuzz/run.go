@@ -88,6 +88,21 @@ func LossyProfile(seed uint64) fabric.FaultProfile {
 	return fp
 }
 
+// SignalBase derives the counter-replica starting value signal-transport
+// campaigns seed every window with: a pure function of the seed, so failures
+// replay exactly. Three seeds in four start within 32 steps of the uint64
+// wrap — programs open far more than 32 epochs, so the grant/done streams
+// cross the boundary mid-run and the serial-number comparison is what keeps
+// the algebra working — and the rest pin the plain zero-base case.
+func SignalBase(seed uint64) uint64 {
+	mix := (seed + 0x5196a1ba5e) * 0x9e3779b97f4a7c15
+	mix ^= mix >> 33
+	if mix%4 == 0 {
+		return 0
+	}
+	return ^uint64(0) - mix%32
+}
+
 // Execute runs the program under the given mode and snapshots the outcome.
 // Deadlocks and livelocks surface in RunResult.Err via the kernel watchdog
 // instead of hanging the process.
@@ -118,10 +133,17 @@ func ExecuteTopo(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.
 // break the bit-identical transcript contract). The crossbar modes — the
 // bulk of a campaign — run genuinely sharded.
 func ExecuteShards(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.Kind, shards int) *RunResult {
-	if fp != nil || kind != topo.Crossbar {
-		shards = 0
-	}
-	return execute(p, mode, kind, shards, fp, nil)
+	return executeOpts(p, mode, kind, shards, fp, nil, false)
+}
+
+// ExecuteSignal is ExecuteShards on the counter-signal epoch transport:
+// every window is created as core.TransportSignal with the seed-derived
+// replica base SignalBase(p.Seed). Everything else — fabric options, shard
+// fallback, snapshotting — is identical, which is exactly the point: the
+// transport swap must be invisible to the program's observable memory
+// semantics.
+func ExecuteSignal(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind topo.Kind, shards int) *RunResult {
+	return executeOpts(p, mode, kind, shards, fp, nil, true)
 }
 
 // ExecuteScheduled is ExecuteShards under the deterministic scheduled-fault
@@ -131,11 +153,20 @@ func ExecuteShards(p *Program, mode core.Mode, fp *fabric.FaultProfile, kind top
 // execute genuinely sharded and the transcript must stay bit-identical at
 // any shard count (shard_test.go pins this).
 func ExecuteScheduled(p *Program, mode core.Mode, fs fabric.FaultSchedule, shards int) *RunResult {
-	return execute(p, mode, topo.Crossbar, shards, nil, &fs)
+	return executeOpts(p, mode, topo.Crossbar, shards, nil, &fs, false)
+}
+
+// executeOpts applies the serial-fallback rule shared by every entry point
+// (fault injection and modeled topologies reject sharding) before the run.
+func executeOpts(p *Program, mode core.Mode, kind topo.Kind, shards int, fp *fabric.FaultProfile, fs *fabric.FaultSchedule, signal bool) *RunResult {
+	if fp != nil || kind != topo.Crossbar {
+		shards = 0
+	}
+	return execute(p, mode, kind, shards, fp, fs, signal)
 }
 
 // execute is the shared executor body behind ExecuteShards/ExecuteScheduled.
-func execute(p *Program, mode core.Mode, kind topo.Kind, shards int, fp *fabric.FaultProfile, fs *fabric.FaultSchedule) *RunResult {
+func execute(p *Program, mode core.Mode, kind topo.Kind, shards int, fp *fabric.FaultProfile, fs *fabric.FaultSchedule, signal bool) *RunResult {
 	cfg := fabric.DefaultConfig()
 	cfg.ProcsPerNode = p.ProcsPerNode
 	cfg.Topo = TopoSpec(kind, p.Seed)
@@ -168,7 +199,12 @@ func execute(p *Program, mode core.Mode, kind topo.Kind, shards int, fp *fabric.
 		return world.Run(func(r *mpi.Rank) {
 			me := r.ID
 			for _, ws := range p.Windows {
-				win := rt.CreateWindow(r, ws.TotalSize(p.NRanks), core.WinOptions{Mode: mode, Info: ws.Info})
+				opt := core.WinOptions{Mode: mode, Info: ws.Info}
+				if signal {
+					opt.Transport = core.TransportSignal
+					opt.SignalBase = SignalBase(p.Seed)
+				}
+				win := rt.CreateWindow(r, ws.TotalSize(p.NRanks), opt)
 				res.Wins[me] = append(res.Wins[me], win)
 			}
 			var pending []*mpi.Request

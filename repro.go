@@ -49,6 +49,9 @@ type (
 	Mode = core.Mode
 	// Info carries the progress-engine reorder flags.
 	Info = core.Info
+	// Transport selects how epoch control information travels
+	// (TransportGATS or TransportSignal).
+	Transport = core.Transport
 	// Config describes the simulated interconnect.
 	Config = fabric.Config
 	// Time is virtual nanoseconds.
@@ -72,6 +75,9 @@ const (
 	ModeNew     = core.ModeNew
 	ModeVanilla = core.ModeVanilla
 	ModeFlush   = core.ModeFlush
+
+	TransportGATS   = core.TransportGATS
+	TransportSignal = core.TransportSignal
 
 	AssertNone      = core.AssertNone
 	AssertNoPrecede = core.AssertNoPrecede
